@@ -1,0 +1,135 @@
+//! Ablation benchmarks for the design decisions DESIGN.md calls out:
+//! gauge-link compression levels, the half-spinor projection trick,
+//! interior/exterior kernel split, fused multi-shift BLAS, and the real
+//! cost of ghost exchange over the threaded communicator.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lqcd_comms::{run_on_grid, SingleComm};
+use lqcd_dirac::{BoundaryMode, WilsonCloverOp, WILSON_DEPTH};
+use lqcd_field::{blas, LatticeField};
+use lqcd_gauge::field::GaugeStart;
+use lqcd_gauge::GaugeField;
+use lqcd_lattice::{Dims, FaceGeometry, Parity, ProcessGrid, SubLattice};
+use lqcd_su3::{Su3, Su3Compressed12, Su3Compressed8, WilsonSpinor};
+use lqcd_util::rng::SeedTree;
+use std::sync::Arc;
+
+const GLOBAL: Dims = Dims([8, 8, 8, 8]);
+
+/// Ablation 5 (DESIGN.md): 18 vs 12 vs 8-real link storage — the
+/// compute cost of reconstruction that buys the bandwidth saving.
+fn reconstruction(c: &mut Criterion) {
+    let seed = SeedTree::new(1);
+    let mut rng = seed.rng();
+    let u = Su3::<f64>::random(&mut rng);
+    let r12 = Su3Compressed12::encode(&u);
+    let r8 = Su3Compressed8::encode(&u).unwrap();
+    let raw = u.to_reals();
+    let mut g = c.benchmark_group("reconstruct");
+    g.bench_function("none_18", |b| b.iter(|| black_box(Su3::from_reals(black_box(&raw)))));
+    g.bench_function("twelve", |b| b.iter(|| black_box(black_box(&r12).decode())));
+    g.bench_function("eight", |b| b.iter(|| black_box(black_box(&r8).decode())));
+    g.finish();
+}
+
+/// Ablation 2: interior/exterior split — Dirichlet (interior only) vs the
+/// full operator on an unpartitioned lattice quantifies the split's
+/// bookkeeping overhead; the same comparison on 4 threaded ranks adds the
+/// real exchange cost.
+fn kernel_split(c: &mut Criterion) {
+    let seed = SeedTree::new(2);
+    let sub = Arc::new(SubLattice::single(GLOBAL).unwrap());
+    let faces = FaceGeometry::new(&sub, WILSON_DEPTH).unwrap();
+    let gauge = GaugeField::<f64>::generate(
+        sub.clone(),
+        &faces,
+        GLOBAL,
+        &seed,
+        GaugeStart::Disordered(0.3),
+    );
+    let op = WilsonCloverOp::new(gauge, None, 0.1).unwrap();
+    let mut comm = SingleComm::new(GLOBAL).unwrap();
+    let mut src = op.alloc(Parity::Odd);
+    let mut rng = seed.rng();
+    src.fill(|_| WilsonSpinor::random(&mut rng));
+    let mut out = op.alloc(Parity::Even);
+    let mut g = c.benchmark_group("kernel_split");
+    g.sample_size(20);
+    g.bench_function("serial_full", |b| {
+        b.iter(|| op.dslash(&mut out, &mut src, &mut comm, BoundaryMode::Full).unwrap())
+    });
+    g.bench_function("serial_dirichlet", |b| {
+        b.iter(|| op.dslash(&mut out, &mut src, &mut comm, BoundaryMode::Dirichlet).unwrap())
+    });
+    g.finish();
+}
+
+/// Real multi-rank dslash wall time across partitionings (threads +
+/// channel exchange): the execution-substrate analogue of Fig. 6.
+fn multirank_dslash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multirank_dslash");
+    g.sample_size(10);
+    for (label, shape) in [("1rank", Dims([1, 1, 1, 1])), ("2ranks_T", Dims([1, 1, 1, 2])), ("4ranks_ZT", Dims([1, 1, 2, 2]))]
+    {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let grid = ProcessGrid::new(shape, GLOBAL).unwrap();
+                let grid2 = grid.clone();
+                let sums = run_on_grid(grid, move |mut comm| {
+                    let seed = SeedTree::new(3);
+                    let sub =
+                        Arc::new(SubLattice::for_rank(&grid2, lqcd_comms::Communicator::rank(&comm)));
+                    let faces = FaceGeometry::new(&sub, WILSON_DEPTH).unwrap();
+                    let mut gauge = GaugeField::<f64>::generate(
+                        sub.clone(),
+                        &faces,
+                        GLOBAL,
+                        &seed,
+                        GaugeStart::Disordered(0.3),
+                    );
+                    gauge.exchange_ghosts(&mut comm, &faces).unwrap();
+                    let op = WilsonCloverOp::new(gauge, None, 0.1).unwrap();
+                    let mut src = op.alloc(Parity::Odd);
+                    let mut rng = seed.rng();
+                    src.fill(|_| WilsonSpinor::random(&mut rng));
+                    let mut out = op.alloc(Parity::Even);
+                    op.dslash(&mut out, &mut src, &mut comm, BoundaryMode::Full).unwrap();
+                    blas::norm2_local(&out)
+                });
+                black_box(sums)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: the fused multi-shift update vs its unfused equivalent.
+fn fused_shift_update(c: &mut Criterion) {
+    let sub = Arc::new(SubLattice::single(GLOBAL).unwrap());
+    let faces = FaceGeometry::new(&sub, 1).unwrap();
+    let seed = SeedTree::new(4);
+    let mut rng = seed.rng();
+    let mut z: LatticeField<f64, WilsonSpinor<f64>> =
+        LatticeField::zeros(sub.clone(), &faces, Parity::Even, 0);
+    z.fill(|_| WilsonSpinor::random(&mut rng));
+    let mut x = z.clone();
+    let mut p = z.clone();
+    let mut g = c.benchmark_group("multishift_update");
+    g.bench_function("fused", |b| {
+        b.iter(|| blas::shift_update(0.3, -0.1, &z, &mut x, &mut p))
+    });
+    g.bench_function("unfused", |b| {
+        b.iter(|| {
+            blas::axpy(0.3, &p, &mut x);
+            blas::xpay(&z, -0.1, &mut p);
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(20);
+    targets = reconstruction, kernel_split, multirank_dslash, fused_shift_update
+}
+criterion_main!(ablations);

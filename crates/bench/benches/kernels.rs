@@ -1,0 +1,168 @@
+//! Criterion benchmarks of the real Rust kernels: the per-site algebra,
+//! the Dirac stencils, BLAS, and the precision machinery.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lqcd_comms::SingleComm;
+use lqcd_dirac::{BoundaryMode, StaggeredOp, WilsonCloverOp, STAGGERED_DEPTH, WILSON_DEPTH};
+use lqcd_field::{blas, HalfField, LatticeField};
+use lqcd_gauge::asqtad::{AsqtadCoeffs, AsqtadLinks};
+use lqcd_gauge::clover_build::build_clover_field;
+use lqcd_gauge::field::GaugeStart;
+use lqcd_gauge::GaugeField;
+use lqcd_lattice::{Dims, FaceGeometry, Parity, SubLattice};
+use lqcd_su3::{gamma, ColorVector, Su3, WilsonSpinor};
+use lqcd_util::rng::SeedTree;
+use std::sync::Arc;
+
+const GLOBAL: Dims = Dims([8, 8, 8, 8]);
+
+fn su3_algebra(c: &mut Criterion) {
+    let seed = SeedTree::new(1);
+    let mut rng = seed.rng();
+    let a = Su3::<f64>::random(&mut rng);
+    let b = Su3::<f64>::random(&mut rng);
+    let v = ColorVector::<f64>::random(&mut rng);
+    let mut g = c.benchmark_group("su3");
+    g.bench_function("mat_mul", |bch| bch.iter(|| black_box(a.mul(black_box(&b)))));
+    g.bench_function("mat_vec", |bch| bch.iter(|| black_box(a.mul_vec(black_box(&v)))));
+    g.bench_function("adj_mat_vec", |bch| bch.iter(|| black_box(a.adj_mul_vec(black_box(&v)))));
+    g.bench_function("reunitarize", |bch| bch.iter(|| black_box(a.reunitarize())));
+    g.finish();
+}
+
+fn spin_projection(c: &mut Criterion) {
+    let seed = SeedTree::new(2);
+    let mut rng = seed.rng();
+    let psi = WilsonSpinor::<f64>::random(&mut rng);
+    let u = Su3::<f64>::random(&mut rng);
+    let mut g = c.benchmark_group("projector");
+    g.bench_function("project_colorrot_reconstruct", |bch| {
+        bch.iter(|| {
+            let h = gamma::project(black_box(0), false, black_box(&psi)).color_mul(&u);
+            black_box(gamma::reconstruct(0, false, &h))
+        })
+    });
+    g.bench_function("dense_reference", |bch| {
+        bch.iter(|| {
+            let full = gamma::project_reference(black_box(0), false, black_box(&psi));
+            black_box(WilsonSpinor::from_fn(|sp| u.mul_vec(&full.s[sp])))
+        })
+    });
+    g.finish();
+}
+
+fn wilson_dslash(c: &mut Criterion) {
+    let seed = SeedTree::new(3);
+    let sub = Arc::new(SubLattice::single(GLOBAL).unwrap());
+    let faces = FaceGeometry::new(&sub, WILSON_DEPTH).unwrap();
+    let gauge = GaugeField::<f64>::generate(
+        sub.clone(),
+        &faces,
+        GLOBAL,
+        &seed,
+        GaugeStart::Disordered(0.3),
+    );
+    let clover = build_clover_field(&gauge, GLOBAL, 1.0);
+    let op = WilsonCloverOp::new(gauge, Some(clover), 0.1).unwrap();
+    let mut comm = SingleComm::new(GLOBAL).unwrap();
+    let mut src = op.alloc(Parity::Odd);
+    let mut rng = seed.rng();
+    src.fill(|_| WilsonSpinor::random(&mut rng));
+    let mut out = op.alloc(Parity::Even);
+    let mut g = c.benchmark_group("wilson");
+    g.throughput(Throughput::Elements(sub.volume_cb() as u64));
+    g.bench_function("dslash_8x8x8x8", |bch| {
+        bch.iter(|| op.dslash(&mut out, &mut src, &mut comm, BoundaryMode::Full).unwrap())
+    });
+    let mut t = op.alloc(Parity::Odd);
+    g.bench_function("clover_t_apply", |bch| bch.iter(|| op.t_apply(&mut t, &src)));
+    g.finish();
+}
+
+fn staggered_dslash(c: &mut Criterion) {
+    let seed = SeedTree::new(4);
+    let sub = Arc::new(SubLattice::single(GLOBAL).unwrap());
+    let faces = FaceGeometry::new(&sub, STAGGERED_DEPTH).unwrap();
+    let thin = GaugeField::<f64>::generate(
+        sub.clone(),
+        &faces,
+        GLOBAL,
+        &seed,
+        GaugeStart::Disordered(0.2),
+    );
+    let links = AsqtadLinks::compute(&thin, GLOBAL, &AsqtadCoeffs::default());
+    let op = StaggeredOp::new(links.fat, links.long, 0.2).unwrap();
+    let mut comm = SingleComm::new(GLOBAL).unwrap();
+    let mut src = op.alloc(Parity::Odd);
+    let mut rng = seed.rng();
+    src.fill(|_| ColorVector::random(&mut rng));
+    let mut out = op.alloc(Parity::Even);
+    let mut g = c.benchmark_group("staggered");
+    g.throughput(Throughput::Elements(sub.volume_cb() as u64));
+    g.bench_function("asqtad_dslash_8x8x8x8", |bch| {
+        bch.iter(|| op.dslash(&mut out, &mut src, &mut comm, BoundaryMode::Full).unwrap())
+    });
+    g.finish();
+}
+
+fn blas_kernels(c: &mut Criterion) {
+    let sub = Arc::new(SubLattice::single(GLOBAL).unwrap());
+    let faces = FaceGeometry::new(&sub, 1).unwrap();
+    let seed = SeedTree::new(5);
+    let mut rng = seed.rng();
+    let mut x: LatticeField<f64, WilsonSpinor<f64>> =
+        LatticeField::zeros(sub.clone(), &faces, Parity::Even, 0);
+    x.fill(|_| WilsonSpinor::random(&mut rng));
+    let mut y = x.clone();
+    let mut g = c.benchmark_group("blas");
+    g.throughput(Throughput::Bytes((x.body().len() * 8) as u64));
+    g.bench_function("axpy", |bch| bch.iter(|| blas::axpy(black_box(0.5), &x, &mut y)));
+    g.bench_function("cdot", |bch| bch.iter(|| black_box(blas::cdot_local(&x, &y))));
+    g.bench_function("norm2", |bch| bch.iter(|| black_box(blas::norm2_local(&x))));
+    g.finish();
+}
+
+fn half_precision(c: &mut Criterion) {
+    let sub = Arc::new(SubLattice::single(GLOBAL).unwrap());
+    let faces = FaceGeometry::new(&sub, 1).unwrap();
+    let seed = SeedTree::new(6);
+    let mut rng = seed.rng();
+    let mut x: LatticeField<f32, WilsonSpinor<f32>> =
+        LatticeField::zeros(sub.clone(), &faces, Parity::Even, 0);
+    x.fill(|_| WilsonSpinor::random(&mut rng));
+    let mut g = c.benchmark_group("half");
+    g.bench_function("encode", |bch| bch.iter(|| black_box(HalfField::encode(&x))));
+    let h = HalfField::encode(&x);
+    let mut back = LatticeField::zeros_like(&x);
+    g.bench_function("decode", |bch| bch.iter(|| h.decode_into(&mut back)));
+    g.finish();
+}
+
+fn whole_solves(c: &mut Criterion) {
+    use lqcd_core::{WilsonProblem, run_wilson_bicgstab, run_wilson_gcr_dd};
+    use lqcd_lattice::ProcessGrid;
+    let p = WilsonProblem::small();
+    let mut g = c.benchmark_group("solves");
+    g.sample_size(10);
+    g.bench_function("bicgstab_4ranks_8x8x8x8", |b| {
+        b.iter(|| {
+            let grid = ProcessGrid::new(Dims([1, 1, 2, 2]), p.global).unwrap();
+            black_box(run_wilson_bicgstab(&p, grid).unwrap())
+        })
+    });
+    g.bench_function("gcr_dd_4ranks_8x8x8x8", |b| {
+        b.iter(|| {
+            let grid = ProcessGrid::new(Dims([1, 1, 2, 2]), p.global).unwrap();
+            black_box(run_wilson_gcr_dd(&p, grid.clone(), false).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = su3_algebra, spin_projection, wilson_dslash, staggered_dslash, blas_kernels,
+              half_precision, whole_solves
+}
+criterion_main!(kernels);

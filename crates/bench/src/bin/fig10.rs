@@ -1,0 +1,37 @@
+//! Regenerate Fig. 10: asqtad mixed-precision multi-shift solver total
+//! Tflops by partitioning (V = 64³×192, 64→256 GPUs).
+
+use lqcd_bench::{paper, write_artifact};
+use lqcd_perf::solver_model::StaggeredIterModel;
+use lqcd_perf::{edge, sweep};
+
+fn main() {
+    let model = edge();
+    let im = StaggeredIterModel::default();
+    let pts = sweep::fig10(&model, &im).expect("fig10 sweep");
+    println!("Fig. 10 — asqtad mixed-precision multi-shift solver, V = 64³×192");
+    println!("{:>6} {:>6} {:>14}", "GPUs", "dims", "total Tflops");
+    for p in &pts {
+        println!("{:>6} {:>6} {:>14.2}", p.gpus, p.scheme, p.total_tflops);
+    }
+    let xyzt = |gpus: usize| {
+        pts.iter()
+            .find(|p| p.scheme == "XYZT" && p.gpus == gpus)
+            .map(|p| p.total_tflops)
+            .unwrap_or(0.0)
+    };
+    let speedup = xyzt(256) / xyzt(64);
+    println!(
+        "\nXYZT 64→256 speedup: {:.2}x (paper: 2.56x); 256-GPU total: {:.2} Tflops (paper: {:.2})",
+        speedup,
+        xyzt(256),
+        paper::FIG10_XYZT[1].1
+    );
+    println!(
+        "CPU comparison point: MILC on Kraken sustains {:.0} Gflops with 4096 cores (§9.2), so \
+         one GPU ≈ {:.0} CPU cores here.",
+        paper::KRAKEN_GFLOPS,
+        xyzt(256) * 1000.0 / 256.0 / (paper::KRAKEN_GFLOPS / 4096.0)
+    );
+    write_artifact("fig10", &pts);
+}

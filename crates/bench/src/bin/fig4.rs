@@ -1,0 +1,41 @@
+//! Regenerate Fig. 4 (the 9-stream schedule) as data: the per-stream
+//! task timeline of one dslash application, with the GPU-idle interval
+//! the paper highlights for small subvolumes.
+
+use lqcd_bench::write_artifact;
+use lqcd_perf::cost::{OpConfig, PartitionGeometry};
+use lqcd_perf::{edge, simulate_dslash, OperatorKind, Precision, Recon};
+use lqcd_lattice::{Dims, PartitionScheme};
+
+fn main() {
+    let model = edge();
+    let cfg = OpConfig {
+        kind: OperatorKind::WilsonClover,
+        precision: Precision::Single,
+        recon: Recon::Twelve,
+    };
+    println!("Fig. 4 — stream schedule of one dslash application (V = 32³×256)");
+    println!("{:>6} {:>12} {:>12} {:>12} {:>8}", "GPUs", "total µs", "interior µs", "idle µs", "tasks");
+    let mut artifacts = Vec::new();
+    for gpus in [16usize, 64, 256] {
+        let grid = PartitionScheme::XYZT.grid(Dims::symm(32, 256), gpus).expect("grid");
+        let geo = PartitionGeometry::of(&grid);
+        let t = simulate_dslash(&model, &geo, &cfg);
+        println!(
+            "{:>6} {:>12.1} {:>12.1} {:>12.1} {:>8}",
+            gpus,
+            t.total * 1e6,
+            t.interior_end * 1e6,
+            t.gpu_idle * 1e6,
+            t.timeline.len()
+        );
+        artifacts.push((gpus, t));
+    }
+    println!(
+        "\n'For small subvolumes, the total communication time over all dimensions is likely to \
+         exceed the interior kernel run time, resulting in some interval when the GPU is idle' \
+         (§6.3) — visible in the growing idle column."
+    );
+    println!("Run `cargo run --release --example stream_timeline -- <gpus>` for the ASCII chart.");
+    write_artifact("fig4", &artifacts);
+}

@@ -1,0 +1,37 @@
+//! Regenerate Fig. 5: Wilson-clover dslash strong scaling (SP/HP,
+//! V = 32³×256, 12-reconstruct, 8→256 GPUs) — paper vs model.
+
+use lqcd_bench::{paper, write_artifact};
+use lqcd_perf::{edge, sweep};
+
+fn main() {
+    let model = edge();
+    let pts = sweep::fig5(&model).expect("fig5 sweep");
+    println!("Fig. 5 — Wilson-clover dslash, V = 32³×256, 12-recon, Gflops/GPU");
+    println!("{:>6} {:>6} {:>12} {:>12} {:>9}", "GPUs", "prec", "paper≈", "model", "ratio");
+    for p in &pts {
+        let table = if p.precision == "SP" { &paper::FIG5_SP } else { &paper::FIG5_HP };
+        let reference = table.iter().find(|(g, _)| *g == p.gpus).map(|(_, v)| *v);
+        match reference {
+            Some(r) => println!(
+                "{:>6} {:>6} {:>12.0} {:>12.1} {:>9.2}",
+                p.gpus,
+                p.precision,
+                r,
+                p.gflops_per_gpu,
+                p.gflops_per_gpu / r
+            ),
+            None => println!("{:>6} {:>6} {:>12} {:>12.1}", p.gpus, p.precision, "-", p.gflops_per_gpu),
+        }
+    }
+    // Shape summary.
+    let ratio = |prec: &str, gpus: usize| {
+        pts.iter().find(|p| p.precision == prec && p.gpus == gpus).unwrap().gflops_per_gpu
+    };
+    println!(
+        "\nHP/SP advantage: {:.2}x at 8 GPUs -> {:.2}x at 256 GPUs (paper: ~1.6x -> ~1.1x)",
+        ratio("HP", 8) / ratio("SP", 8),
+        ratio("HP", 256) / ratio("SP", 256)
+    );
+    write_artifact("fig5", &pts);
+}

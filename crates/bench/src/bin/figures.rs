@@ -1,0 +1,113 @@
+//! Regenerate every evaluation figure in one run (Figs. 4–10), plus the
+//! measured-iteration calibration data that feeds the model. This is the
+//! binary EXPERIMENTS.md is produced from.
+
+use lqcd_bench::{paper, write_artifact};
+use lqcd_core::calibration::{fit_block_exponent, measure_dd_block_dependence};
+use lqcd_core::WilsonProblem;
+use lqcd_perf::solver_model::{StaggeredIterModel, WilsonIterModel};
+use lqcd_perf::{edge, sweep};
+
+fn section(title: &str) {
+    println!("\n{}\n{}", title, "─".repeat(title.len().min(100)));
+}
+
+fn main() {
+    let model = edge();
+    let im = WilsonIterModel::default();
+    let sm = StaggeredIterModel::default();
+
+    section("Calibration: measured GCR-DD block dependence (real solves, 8⁴ lattice)");
+    let mut problem = WilsonProblem::small();
+    problem.disorder = 0.35;
+    problem.mass = 0.05;
+    problem.tol = 1e-7;
+    problem.gcr.tol = 1e-7;
+    match measure_dd_block_dependence(&problem, &[1, 4, 16]) {
+        Ok(points) => {
+            println!(
+                "{:>8} {:>10} {:>12} {:>12}",
+                "ranks", "block_cb", "GCR-DD outer", "BiCGstab"
+            );
+            for p in &points {
+                println!(
+                    "{:>8} {:>10} {:>12} {:>12}",
+                    p.ranks, p.block_cb, p.outer_iterations, p.bicgstab_iterations
+                );
+            }
+            let q = fit_block_exponent(&points);
+            println!("fitted block exponent q = {q:.3} (model uses {})", im.block_exponent);
+            write_artifact("calibration_dd", &points);
+        }
+        Err(e) => println!("calibration run skipped: {e}"),
+    }
+
+    section("Fig. 5 — Wilson-clover dslash Gflops/GPU (SP & HP)");
+    let f5 = sweep::fig5(&model).expect("fig5");
+    for p in &f5 {
+        let table = if p.precision == "SP" { &paper::FIG5_SP } else { &paper::FIG5_HP };
+        let r = table.iter().find(|(g, _)| *g == p.gpus).map(|(_, v)| *v).unwrap_or(f64::NAN);
+        println!(
+            "{:>6} {:>4}  paper≈{:>6.0}  model {:>6.1}",
+            p.gpus, p.precision, r, p.gflops_per_gpu
+        );
+    }
+    write_artifact("fig5", &f5);
+
+    section("Fig. 6 — asqtad dslash Gflops/GPU by partitioning");
+    let f6 = sweep::fig6(&model).expect("fig6");
+    for p in &f6 {
+        println!("{:>6} {:>5} {:>4} {:>8.1}", p.gpus, p.scheme, p.precision, p.gflops_per_gpu);
+    }
+    write_artifact("fig6", &f6);
+
+    section("Figs. 7/8 — BiCGstab vs GCR-DD (sustained Tflops, time to solution)");
+    let f78 = sweep::fig7_fig8(&model, &im).expect("fig7/8");
+    for p in &f78 {
+        println!(
+            "{:>6} {:>9}  {:>7.2} Tflops  TTS {:>7.2} s  ({:.0} iters)",
+            p.gpus, p.solver, p.tflops, p.time_to_solution, p.iterations
+        );
+    }
+    write_artifact("fig7_fig8", &f78);
+
+    section("Fig. 9 — capability machines");
+    let f9 = sweep::fig9();
+    for p in &f9 {
+        println!("{:>8} cores  {:>16}  {:>7.2} Tflops", p.cores, p.machine, p.tflops);
+    }
+    write_artifact("fig9", &f9);
+
+    section("Fig. 10 — asqtad multi-shift total Tflops");
+    let f10 = sweep::fig10(&model, &sm).expect("fig10");
+    for p in &f10 {
+        println!("{:>6} {:>5}  {:>7.2} Tflops", p.gpus, p.scheme, p.total_tflops);
+    }
+    write_artifact("fig10", &f10);
+
+    section("Headline checks");
+    let tts = |solver: &str, gpus: usize| {
+        f78.iter()
+            .find(|p| p.solver == solver && p.gpus == gpus)
+            .map(|p| p.time_to_solution)
+            .unwrap()
+    };
+    for gpus in [64usize, 128, 256] {
+        println!(
+            "GCR-DD improvement at {gpus:>3} GPUs: {:.2}x (paper: {})",
+            tts("BiCGstab", gpus) / tts("GCR-DD", gpus),
+            match gpus {
+                64 => "1.52x",
+                128 => "1.63x",
+                _ => "1.64x",
+            }
+        );
+    }
+    let g128 =
+        f78.iter().find(|p| p.solver == "GCR-DD" && p.gpus == 128).map(|p| p.tflops).unwrap();
+    println!("GCR-DD sustained at 128 GPUs: {g128:.1} Tflops (paper: >10)");
+    let x64 = f10.iter().find(|p| p.scheme == "XYZT" && p.gpus == 64).unwrap().total_tflops;
+    let x256 = f10.iter().find(|p| p.scheme == "XYZT" && p.gpus == 256).unwrap().total_tflops;
+    println!("multi-shift 64→256 speedup: {:.2}x (paper: 2.56x)", x256 / x64);
+    println!("multi-shift total at 256: {x256:.2} Tflops (paper: 5.49)");
+}

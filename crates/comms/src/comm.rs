@@ -1,0 +1,139 @@
+//! The communicator trait.
+
+use lqcd_lattice::ProcessGrid;
+use lqcd_util::Result;
+
+/// Message-passing surface used by the distributed Dirac operators and
+/// solvers. Mirrors the subset of QMP/MPI the paper's implementation
+/// relies on: grid-neighbour exchange plus global reductions.
+pub trait Communicator {
+    /// This rank's id in `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Total number of ranks.
+    fn size(&self) -> usize;
+
+    /// The process grid ranks are arranged in.
+    fn grid(&self) -> &ProcessGrid;
+
+    /// Simultaneous shift along grid dimension `mu`: send `send` to the
+    /// neighbour in direction (`mu`, `forward`) and receive into `recv`
+    /// from the neighbour in the opposite direction.
+    ///
+    /// Every rank of the grid must call this collectively with matching
+    /// buffer lengths; mismatches surface as [`lqcd_util::Error::Comms`].
+    fn send_recv(&mut self, mu: usize, forward: bool, send: &[f64], recv: &mut [f64])
+        -> Result<()>;
+
+    /// Global sum over all ranks, elementwise into `vals` (in place).
+    fn allreduce_sum(&mut self, vals: &mut [f64]) -> Result<()>;
+
+    /// Global max over all ranks, elementwise into `vals` (in place).
+    fn allreduce_max(&mut self, vals: &mut [f64]) -> Result<()>;
+
+    /// Block until every rank has arrived.
+    fn barrier(&mut self) -> Result<()> {
+        let mut dummy = [0.0f64];
+        self.allreduce_sum(&mut dummy)
+    }
+
+    /// Convenience: global sum of a single scalar.
+    fn sum_scalar(&mut self, v: f64) -> Result<f64> {
+        let mut buf = [v];
+        self.allreduce_sum(&mut buf)?;
+        Ok(buf[0])
+    }
+
+    /// Convenience: global sum of a complex value packed as `[re, im]`.
+    fn sum_complex(&mut self, re: f64, im: f64) -> Result<(f64, f64)> {
+        let mut buf = [re, im];
+        self.allreduce_sum(&mut buf)?;
+        Ok((buf[0], buf[1]))
+    }
+}
+
+/// A rank-local shared handle to a communicator, so several operator
+/// precisions (the mixed-precision solver stack) can use one rank's
+/// endpoint. Single-threaded within a rank, hence `Rc<RefCell>`; the
+/// process grid is cached at construction so `grid()` needs no borrow.
+pub struct SharedComm<C> {
+    inner: std::rc::Rc<std::cell::RefCell<C>>,
+    grid: ProcessGrid,
+}
+
+impl<C: Communicator> SharedComm<C> {
+    /// Wrap a communicator for sharing within one rank.
+    pub fn new(comm: C) -> Self {
+        let grid = comm.grid().clone();
+        SharedComm { inner: std::rc::Rc::new(std::cell::RefCell::new(comm)), grid }
+    }
+}
+
+impl<C> Clone for SharedComm<C> {
+    fn clone(&self) -> Self {
+        SharedComm { inner: self.inner.clone(), grid: self.grid.clone() }
+    }
+}
+
+impl<C: Communicator> Communicator for SharedComm<C> {
+    fn rank(&self) -> usize {
+        self.inner.borrow().rank()
+    }
+    fn size(&self) -> usize {
+        self.inner.borrow().size()
+    }
+    fn grid(&self) -> &ProcessGrid {
+        &self.grid
+    }
+    fn send_recv(&mut self, mu: usize, forward: bool, send: &[f64], recv: &mut [f64])
+        -> Result<()> {
+        self.inner.borrow_mut().send_recv(mu, forward, send, recv)
+    }
+    fn allreduce_sum(&mut self, vals: &mut [f64]) -> Result<()> {
+        self.inner.borrow_mut().allreduce_sum(vals)
+    }
+    fn allreduce_max(&mut self, vals: &mut [f64]) -> Result<()> {
+        self.inner.borrow_mut().allreduce_max(vals)
+    }
+}
+
+#[cfg(test)]
+mod shared_tests {
+    use super::*;
+    use crate::single::SingleComm;
+    use lqcd_lattice::Dims;
+
+    #[test]
+    fn shared_comm_multiplexes_one_endpoint() {
+        // Two handles to the same endpoint (as the mixed-precision solver
+        // stack holds one per operator precision) both work and see the
+        // same grid.
+        let base = SingleComm::new(Dims([4, 4, 4, 8])).unwrap();
+        let mut a = SharedComm::new(base);
+        let mut b = a.clone();
+        assert_eq!(a.rank(), 0);
+        assert_eq!(b.size(), 1);
+        assert_eq!(a.grid().num_ranks(), b.grid().num_ranks());
+        assert_eq!(a.sum_scalar(2.0).unwrap(), 2.0);
+        let mut recv = [0.0f64; 2];
+        b.send_recv(3, true, &[5.0, 6.0], &mut recv).unwrap();
+        assert_eq!(recv, [5.0, 6.0]);
+        a.barrier().unwrap();
+    }
+
+    #[test]
+    fn shared_comm_over_threaded_world() {
+        use crate::threaded::run_on_grid;
+        use lqcd_lattice::ProcessGrid;
+        let grid = ProcessGrid::new(Dims([1, 1, 1, 2]), Dims([4, 4, 4, 8])).unwrap();
+        let sums = run_on_grid(grid, |comm| {
+            let mut a = SharedComm::new(comm);
+            let mut b = a.clone();
+            // Interleave use of both handles.
+            let s1 = a.sum_scalar(1.0).unwrap();
+            let s2 = b.sum_scalar(10.0).unwrap();
+            (s1, s2)
+        });
+        assert!(sums.iter().all(|&(s1, s2)| s1 == 2.0 && s2 == 20.0));
+    }
+}

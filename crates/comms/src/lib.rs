@@ -1,0 +1,26 @@
+//! QMP-like message passing for the virtual GPU cluster.
+//!
+//! The paper's implementation can sit on either MPI or QMP, the "QCD
+//! message-passing" standard offering exactly the primitives lattice codes
+//! need (§6.1). This crate provides the same narrow surface:
+//!
+//! * [`Communicator`] — rank identity, neighbour `send_recv` along a
+//!   process-grid dimension, and global reductions;
+//! * [`SingleComm`] — the trivial single-rank backend;
+//! * [`ThreadedComm`] — the multi-rank backend: every "GPU" is a thread,
+//!   messages travel over crossbeam channels with MPI-style
+//!   `(source, tag)` matching;
+//! * [`run_on_grid`] — SPMD launcher: one thread per rank, each handed its
+//!   own communicator, results collected in rank order.
+//!
+//! Payloads are `f64` slices; fields convert their storage precision at
+//! the boundary. (The *performance model* prices messages at their true
+//! storage width — the correctness path here is deliberately simple.)
+
+pub mod comm;
+pub mod single;
+pub mod threaded;
+
+pub use comm::{Communicator, SharedComm};
+pub use single::SingleComm;
+pub use threaded::{run_on_grid, ThreadedComm};

@@ -1,0 +1,87 @@
+//! The trivial single-rank communicator.
+
+use crate::comm::Communicator;
+use lqcd_lattice::{Dims, ProcessGrid};
+use lqcd_util::{Error, Result};
+
+/// Single-rank backend: neighbour exchange is a self-copy (periodic wrap
+/// onto oneself), reductions are identities.
+#[derive(Clone, Debug)]
+pub struct SingleComm {
+    grid: ProcessGrid,
+}
+
+impl SingleComm {
+    /// A 1-rank grid over `global`.
+    pub fn new(global: Dims) -> Result<Self> {
+        Ok(Self { grid: ProcessGrid::new(Dims([1, 1, 1, 1]), global)? })
+    }
+}
+
+impl Communicator for SingleComm {
+    fn rank(&self) -> usize {
+        0
+    }
+
+    fn size(&self) -> usize {
+        1
+    }
+
+    fn grid(&self) -> &ProcessGrid {
+        &self.grid
+    }
+
+    fn send_recv(
+        &mut self,
+        _mu: usize,
+        _forward: bool,
+        send: &[f64],
+        recv: &mut [f64],
+    ) -> Result<()> {
+        if send.len() != recv.len() {
+            return Err(Error::Comms(format!(
+                "send/recv length mismatch: {} vs {}",
+                send.len(),
+                recv.len()
+            )));
+        }
+        recv.copy_from_slice(send);
+        Ok(())
+    }
+
+    fn allreduce_sum(&mut self, _vals: &mut [f64]) -> Result<()> {
+        Ok(())
+    }
+
+    fn allreduce_max(&mut self, _vals: &mut [f64]) -> Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_exchange_copies() {
+        let mut c = SingleComm::new(Dims([4, 4, 4, 8])).unwrap();
+        let send = [1.0, 2.0, 3.0];
+        let mut recv = [0.0; 3];
+        c.send_recv(3, true, &send, &mut recv).unwrap();
+        assert_eq!(recv, send);
+        let mut bad = [0.0; 2];
+        assert!(c.send_recv(3, true, &send, &mut bad).is_err());
+    }
+
+    #[test]
+    fn reductions_are_identity() {
+        let mut c = SingleComm::new(Dims([4, 4, 4, 8])).unwrap();
+        assert_eq!(c.sum_scalar(5.0).unwrap(), 5.0);
+        let mut v = [1.0, -2.0];
+        c.allreduce_max(&mut v).unwrap();
+        assert_eq!(v, [1.0, -2.0]);
+        c.barrier().unwrap();
+        assert_eq!(c.rank(), 0);
+        assert_eq!(c.size(), 1);
+    }
+}

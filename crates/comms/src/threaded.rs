@@ -1,0 +1,312 @@
+//! The threaded multi-rank backend: one thread per "GPU".
+//!
+//! Each rank owns a mailbox (an unbounded crossbeam channel). Sends are
+//! non-blocking; receives match on `(source, tag)` with a pending queue to
+//! tolerate out-of-order arrival across tags — the same matching semantics
+//! MPI gives the paper's implementation. Reductions run as
+//! gather-to-root + broadcast over the same mailboxes.
+
+use crate::comm::Communicator;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use lqcd_lattice::ProcessGrid;
+use lqcd_util::{Error, Result};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Message tags: exchanges carry `(mu, dir, sequence)`, reductions use
+/// reserved tag spaces.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+struct Tag(u64);
+
+const TAG_EXCHANGE: u64 = 0;
+const TAG_REDUCE_UP: u64 = 1 << 60;
+const TAG_REDUCE_DOWN: u64 = 2 << 60;
+
+struct Message {
+    from: usize,
+    tag: Tag,
+    payload: Vec<f64>,
+}
+
+/// Shared state for a world of ranks.
+struct World {
+    grid: ProcessGrid,
+    senders: Vec<Sender<Message>>,
+}
+
+/// Per-rank handle to the threaded world.
+pub struct ThreadedComm {
+    world: Arc<World>,
+    rank: usize,
+    inbox: Receiver<Message>,
+    pending: VecDeque<Message>,
+    /// Per-(mu, dir) sequence numbers so repeated exchanges on the same
+    /// edge match in order.
+    seq: [[u64; 2]; 4],
+    reduce_seq: u64,
+}
+
+impl ThreadedComm {
+    /// Create communicators for every rank of `grid`. Index `i` of the
+    /// returned vector belongs to rank `i`; hand each to its own thread.
+    pub fn world(grid: ProcessGrid) -> Vec<ThreadedComm> {
+        let n = grid.num_ranks();
+        let mut senders = Vec::with_capacity(n);
+        let mut inboxes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            inboxes.push(rx);
+        }
+        let world = Arc::new(World { grid, senders });
+        inboxes
+            .into_iter()
+            .enumerate()
+            .map(|(rank, inbox)| ThreadedComm {
+                world: world.clone(),
+                rank,
+                inbox,
+                pending: VecDeque::new(),
+                seq: [[0; 2]; 4],
+                reduce_seq: 0,
+            })
+            .collect()
+    }
+
+    fn post(&self, to: usize, tag: Tag, payload: Vec<f64>) -> Result<()> {
+        self.world.senders[to]
+            .send(Message { from: self.rank, tag, payload })
+            .map_err(|_| Error::Comms(format!("rank {to} mailbox closed")))
+    }
+
+    /// Blocking receive matching `(from, tag)`, buffering mismatches.
+    fn recv_match(&mut self, from: usize, tag: Tag) -> Result<Vec<f64>> {
+        if let Some(pos) = self.pending.iter().position(|m| m.from == from && m.tag == tag) {
+            return Ok(self.pending.remove(pos).expect("position valid").payload);
+        }
+        loop {
+            let msg = self
+                .inbox
+                .recv()
+                .map_err(|_| Error::Comms(format!("rank {} inbox closed", self.rank)))?;
+            if msg.from == from && msg.tag == tag {
+                return Ok(msg.payload);
+            }
+            self.pending.push_back(msg);
+        }
+    }
+
+    fn reduce(&mut self, vals: &mut [f64], combine: fn(f64, f64) -> f64) -> Result<()> {
+        // Binary-tree-free, simple gather to rank 0 then broadcast:
+        // adequate for the correctness path (the perf model prices
+        // reductions independently).
+        let n = self.world.grid.num_ranks();
+        let seq = self.reduce_seq;
+        self.reduce_seq += 1;
+        let up = Tag(TAG_REDUCE_UP | seq);
+        let down = Tag(TAG_REDUCE_DOWN | seq);
+        if self.rank == 0 {
+            for from in 1..n {
+                let part = self.recv_match(from, up)?;
+                if part.len() != vals.len() {
+                    return Err(Error::Comms(format!(
+                        "reduction length mismatch: {} vs {}",
+                        part.len(),
+                        vals.len()
+                    )));
+                }
+                for (v, p) in vals.iter_mut().zip(part) {
+                    *v = combine(*v, p);
+                }
+            }
+            for to in 1..n {
+                self.post(to, down, vals.to_vec())?;
+            }
+        } else {
+            self.post(0, up, vals.to_vec())?;
+            let result = self.recv_match(0, down)?;
+            vals.copy_from_slice(&result);
+        }
+        Ok(())
+    }
+}
+
+impl Communicator for ThreadedComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.world.grid.num_ranks()
+    }
+
+    fn grid(&self) -> &ProcessGrid {
+        &self.world.grid
+    }
+
+    fn send_recv(
+        &mut self,
+        mu: usize,
+        forward: bool,
+        send: &[f64],
+        recv: &mut [f64],
+    ) -> Result<()> {
+        let grid = &self.world.grid;
+        let to = grid.neighbor_rank(self.rank, mu, forward);
+        let from = grid.neighbor_rank(self.rank, mu, !forward);
+        let dir = forward as usize;
+        let seq = self.seq[mu][dir];
+        self.seq[mu][dir] += 1;
+        // Tag layout: [mu:2][dir:1][seq:rest] inside the exchange space.
+        let tag = Tag(TAG_EXCHANGE | ((mu as u64) << 57) | ((dir as u64) << 56) | seq);
+        self.post(to, tag, send.to_vec())?;
+        let payload = self.recv_match(from, tag)?;
+        if payload.len() != recv.len() {
+            return Err(Error::Comms(format!(
+                "exchange length mismatch: got {} expected {}",
+                payload.len(),
+                recv.len()
+            )));
+        }
+        recv.copy_from_slice(&payload);
+        Ok(())
+    }
+
+    fn allreduce_sum(&mut self, vals: &mut [f64]) -> Result<()> {
+        self.reduce(vals, |a, b| a + b)
+    }
+
+    fn allreduce_max(&mut self, vals: &mut [f64]) -> Result<()> {
+        self.reduce(vals, f64::max)
+    }
+}
+
+/// SPMD launcher: run `body` once per rank of `grid`, each on its own
+/// thread with its own communicator; returns the per-rank results in rank
+/// order. Panics in any rank propagate.
+pub fn run_on_grid<T, F>(grid: ProcessGrid, body: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(ThreadedComm) -> T + Sync,
+{
+    let comms = ThreadedComm::world(grid);
+    let mut out: Vec<Option<T>> = comms.iter().map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (rank, comm) in comms.into_iter().enumerate() {
+            let body = &body;
+            handles.push((rank, scope.spawn(move |_| body(comm))));
+        }
+        for (rank, h) in handles {
+            out[rank] = Some(h.join().expect("rank thread panicked"));
+        }
+    })
+    .expect("scope failed");
+    out.into_iter().map(|x| x.expect("rank result missing")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lqcd_lattice::Dims;
+
+    fn grid_1d(n: usize) -> ProcessGrid {
+        ProcessGrid::new(Dims([1, 1, 1, n]), Dims([4, 4, 4, (4 * n).max(8)])).unwrap()
+    }
+
+    #[test]
+    fn ring_shift_forward() {
+        let n = 4;
+        let results = run_on_grid(grid_1d(n), |mut comm| {
+            let me = comm.rank() as f64;
+            let mut recv = [0.0f64];
+            comm.send_recv(3, true, &[me], &mut recv).unwrap();
+            recv[0]
+        });
+        // Receiving from the backward neighbour: rank r gets r−1 (mod n).
+        for (r, &got) in results.iter().enumerate() {
+            let want = ((r + n - 1) % n) as f64;
+            assert_eq!(got, want, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn ring_shift_backward() {
+        let n = 3;
+        let results = run_on_grid(grid_1d(n), |mut comm| {
+            let me = comm.rank() as f64;
+            let mut recv = [0.0f64];
+            comm.send_recv(3, false, &[me], &mut recv).unwrap();
+            recv[0]
+        });
+        for (r, &got) in results.iter().enumerate() {
+            assert_eq!(got, ((r + 1) % n) as f64, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        let n = 5;
+        let results = run_on_grid(grid_1d(n), |mut comm| {
+            let r = comm.rank() as f64;
+            let sum = comm.sum_scalar(r).unwrap();
+            let mut mx = [r];
+            comm.allreduce_max(&mut mx).unwrap();
+            (sum, mx[0])
+        });
+        for &(sum, mx) in &results {
+            assert_eq!(sum, (0..n).sum::<usize>() as f64);
+            assert_eq!(mx, (n - 1) as f64);
+        }
+    }
+
+    #[test]
+    fn interleaved_exchanges_match_in_order() {
+        // Two back-to-back exchanges on the same edge must not cross.
+        let n = 2;
+        let results = run_on_grid(grid_1d(n), |mut comm| {
+            let me = comm.rank() as f64;
+            let mut r1 = [0.0f64];
+            let mut r2 = [0.0f64];
+            comm.send_recv(3, true, &[me * 10.0], &mut r1).unwrap();
+            comm.send_recv(3, true, &[me * 10.0 + 1.0], &mut r2).unwrap();
+            (r1[0], r2[0])
+        });
+        assert_eq!(results[0], (10.0, 11.0));
+        assert_eq!(results[1], (0.0, 1.0));
+    }
+
+    #[test]
+    fn multi_dim_exchange_2x2() {
+        let grid = ProcessGrid::new(Dims([1, 1, 2, 2]), Dims([4, 4, 8, 8])).unwrap();
+        let results = run_on_grid(grid.clone(), |mut comm| {
+            let me = comm.rank() as f64;
+            let mut rz = [0.0f64];
+            let mut rt = [0.0f64];
+            // Exchange in Z then T.
+            comm.send_recv(2, true, &[me], &mut rz).unwrap();
+            comm.send_recv(3, false, &[me], &mut rt).unwrap();
+            (rz[0], rt[0])
+        });
+        for rank in 0..grid.num_ranks() {
+            let from_z = grid.neighbor_rank(rank, 2, false) as f64;
+            let from_t = grid.neighbor_rank(rank, 3, true) as f64;
+            assert_eq!(results[rank], (from_z, from_t), "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        let results = run_on_grid(grid_1d(2), |mut comm| {
+            let mut recv = [0.0f64; 2];
+            comm.send_recv(3, true, &[1.0], &mut recv).err().is_some()
+        });
+        assert!(results.iter().all(|&e| e));
+    }
+
+    #[test]
+    fn barrier_completes() {
+        let results = run_on_grid(grid_1d(3), |mut comm| comm.barrier().is_ok());
+        assert!(results.iter().all(|&ok| ok));
+    }
+}

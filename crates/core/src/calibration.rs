@@ -1,0 +1,200 @@
+//! Measured-iteration calibration experiments.
+//!
+//! The performance model's iteration inputs (EXPERIMENTS.md) come from
+//! running the *real* solvers here at laptop scale: the DD block-size
+//! dependence of GCR-DD outer iterations, the BiCGstab baseline count,
+//! and the single-vs-double iteration overhead of the mixed-precision
+//! staggered solver (§9.2's ≈ 20 % note).
+
+use crate::problem::{StaggeredProblem, WilsonProblem};
+use lqcd_comms::run_on_grid;
+use lqcd_lattice::{Dims, PartitionScheme, ProcessGrid, SubLattice};
+use lqcd_solvers::spaces::{cast_staggered_op, EoWilsonSpace, StaggeredNormalSpace};
+use lqcd_solvers::{bicgstab, cg, gcr, multishift_cg, SchwarzMR, SolverSpace};
+use lqcd_util::Result;
+use serde::{Deserialize, Serialize};
+
+/// One measured GCR-DD data point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DdCalibrationPoint {
+    /// Partitioning used.
+    pub scheme: String,
+    /// Ranks (= Schwarz blocks).
+    pub ranks: usize,
+    /// Checkerboard block volume.
+    pub block_cb: usize,
+    /// Measured GCR-DD outer iterations.
+    pub outer_iterations: usize,
+    /// Measured BiCGstab iterations on the same system.
+    pub bicgstab_iterations: usize,
+}
+
+/// Measure GCR-DD outer iterations vs. block size on a real lattice:
+/// the data behind the `block_exponent` of the performance model.
+pub fn measure_dd_block_dependence(
+    problem: &WilsonProblem,
+    rank_counts: &[usize],
+) -> Result<Vec<DdCalibrationPoint>> {
+    let mut out = Vec::new();
+    for &ranks in rank_counts {
+        let scheme = PartitionScheme::XYZT;
+        let grid = scheme.grid(problem.global, ranks)?;
+        let block_cb = SubLattice::for_rank(&grid, 0).volume_cb();
+        let p = problem.clone();
+        let g = grid.clone();
+        let per_rank = run_on_grid(grid, move |mut comm| -> Result<(usize, usize)> {
+            let op = p.build_operator(&mut comm, &g)?;
+            let mut space = EoWilsonSpace::new(op, comm)?;
+            let b = p.rhs(&space.op);
+            let mut x = space.alloc();
+            let gcr_stats =
+                gcr(&mut space, &mut SchwarzMR::new(p.mr_steps), &mut x, &b, &p.gcr)?;
+            let mut x2 = space.alloc();
+            let bi = bicgstab(&mut space, &mut x2, &b, p.tol, p.maxiter)?;
+            Ok((gcr_stats.iterations, bi.iterations))
+        });
+        let (outer, bicg) = per_rank.into_iter().next().expect("at least one rank")?;
+        out.push(DdCalibrationPoint {
+            scheme: scheme.label().into(),
+            ranks,
+            block_cb,
+            outer_iterations: outer,
+            bicgstab_iterations: bicg,
+        });
+    }
+    Ok(out)
+}
+
+/// Fit the block exponent `q` of `outer ∝ block^{-q}` from measured
+/// points (least squares in log-log).
+pub fn fit_block_exponent(points: &[DdCalibrationPoint]) -> f64 {
+    let n = points.len() as f64;
+    if points.len() < 2 {
+        return 0.0;
+    }
+    let xs: Vec<f64> = points.iter().map(|p| (p.block_cb as f64).ln()).collect();
+    let ys: Vec<f64> = points.iter().map(|p| (p.outer_iterations as f64).ln()).collect();
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    // outer ∝ block^{slope}; q = −slope.
+    -(sxy / sxx)
+}
+
+/// Measured single-vs-double iteration overhead of the staggered solver
+/// (the ≈ 20 % increase noted in §9.2 for mixed precision).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrecisionOverhead {
+    /// Iterations of the f64 CG base solve.
+    pub double_iters: usize,
+    /// Iterations of the f32 CG solve to the same (loose) tolerance.
+    pub single_iters: usize,
+    /// `single/double − 1`.
+    pub overhead: f64,
+}
+
+/// Measure the single-precision iteration overhead on the staggered
+/// normal system at tolerance `tol` (must be within f32 reach, ≳ 1e-5).
+pub fn measure_precision_overhead(
+    problem: &StaggeredProblem,
+    tol: f64,
+) -> Result<PrecisionOverhead> {
+    let grid = ProcessGrid::new(Dims([1, 1, 1, 1]), problem.global)?;
+    let op = problem.build_operator(&grid, 0)?;
+    let op32 = cast_staggered_op::<f32>(&op)?;
+    let comm = lqcd_comms::SingleComm::new(problem.global)?;
+    let comm32 = lqcd_comms::SingleComm::new(problem.global)?;
+    let mut hi = StaggeredNormalSpace::new(op, comm);
+    let mut lo = StaggeredNormalSpace::new(op32, comm32);
+    let b = problem.rhs(&hi.op);
+    let mut x = hi.alloc();
+    let d = cg(&mut hi, &mut x, &b, tol, problem.maxiter)?;
+    // Same solve in f32.
+    let mut b32 = lo.alloc();
+    use lqcd_field::CastSite;
+    for idx in 0..b.num_sites() {
+        b32.set_site(idx, b.site(idx).cast_site());
+    }
+    let mut x32 = lo.alloc();
+    let s = cg(&mut lo, &mut x32, &b32, tol, problem.maxiter)?;
+    Ok(PrecisionOverhead {
+        double_iters: d.iterations,
+        single_iters: s.iterations,
+        overhead: s.iterations as f64 / d.iterations as f64 - 1.0,
+    })
+}
+
+/// Measured multishift-vs-sequential matvec economy: the multi-shift
+/// solver produces all N solutions in one Krylov pass (§3.1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultishiftEconomy {
+    /// Matvecs used by the multi-shift solve.
+    pub multishift_matvecs: usize,
+    /// Matvecs a sequential per-shift CG would use.
+    pub sequential_matvecs: usize,
+}
+
+/// Measure matvec counts multishift vs sequential CG.
+pub fn measure_multishift_economy(problem: &StaggeredProblem) -> Result<MultishiftEconomy> {
+    let grid = ProcessGrid::new(Dims([1, 1, 1, 1]), problem.global)?;
+    let op = problem.build_operator(&grid, 0)?;
+    let comm = lqcd_comms::SingleComm::new(problem.global)?;
+    let mut space = StaggeredNormalSpace::new(op, comm);
+    let b = problem.rhs(&space.op);
+    let ms = multishift_cg(&mut space, &problem.shifts, &b, problem.tol, problem.maxiter)?;
+    // Sequential: one CG per shift via the shifted view.
+    let mut seq = 0usize;
+    for &sigma in &problem.shifts {
+        let mut view = lqcd_solvers::mixed::ShiftedSpace { base: &mut space, sigma };
+        let mut x = view.alloc();
+        let st = cg(&mut view, &mut x, &b, problem.tol, problem.maxiter)?;
+        seq += st.matvecs;
+    }
+    Ok(MultishiftEconomy { multishift_matvecs: ms.stats.matvecs, sequential_matvecs: seq })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dd_block_dependence_and_fit() {
+        let mut p = WilsonProblem::small();
+        p.tol = 1e-7;
+        p.gcr.tol = 1e-7;
+        let points = measure_dd_block_dependence(&p, &[1, 4, 16]).unwrap();
+        assert_eq!(points.len(), 3);
+        // Blocks shrink with more ranks; iterations don't decrease.
+        assert!(points[2].block_cb < points[0].block_cb);
+        assert!(points[2].outer_iterations >= points[0].outer_iterations);
+        // BiCGstab count is partition-independent (same linear system).
+        let b0 = points[0].bicgstab_iterations as f64;
+        for pt in &points {
+            let rel = (pt.bicgstab_iterations as f64 - b0).abs() / b0;
+            assert!(rel < 0.05, "BiCGstab count varies with partitioning: {points:?}");
+        }
+        let q = fit_block_exponent(&points);
+        assert!((-0.05..0.6).contains(&q), "block exponent {q}");
+    }
+
+    #[test]
+    fn precision_overhead_is_modest() {
+        let p = StaggeredProblem::small();
+        let o = measure_precision_overhead(&p, 1e-4).unwrap();
+        assert!(o.single_iters >= o.double_iters);
+        assert!(o.overhead < 0.5, "f32 overhead {:.0}% too large", o.overhead * 100.0);
+    }
+
+    #[test]
+    fn multishift_saves_matvecs() {
+        let p = StaggeredProblem::small();
+        let e = measure_multishift_economy(&p).unwrap();
+        assert!(
+            e.multishift_matvecs * 2 < e.sequential_matvecs,
+            "multishift {} vs sequential {}",
+            e.multishift_matvecs,
+            e.sequential_matvecs
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! SPMD solver drivers: one call runs a full distributed solve.
+
+use crate::problem::{StaggeredProblem, WilsonProblem};
+use lqcd_comms::{run_on_grid, Communicator};
+use lqcd_lattice::ProcessGrid;
+use lqcd_solvers::spaces::{EoWilsonSpace, StaggeredNormalSpace};
+use lqcd_solvers::{bicgstab, gcr, multishift_cg, SchwarzMR, SolveStats, SolverSpace};
+use lqcd_util::Result;
+
+/// Per-rank outcome of a Wilson solve.
+#[derive(Debug, Clone)]
+pub struct WilsonSolveOutcome {
+    /// Solver statistics.
+    pub stats: SolveStats,
+    /// Global solution norm² (identical on all ranks).
+    pub solution_norm2: f64,
+    /// Communicating matvecs this rank performed.
+    pub matvecs: usize,
+    /// Dirichlet (Schwarz-block) matvecs this rank performed.
+    pub dirichlet_matvecs: usize,
+}
+
+/// Run a distributed mixed-workflow BiCGstab solve of the even-odd
+/// preconditioned Wilson-clover system over `grid`. Returns one outcome
+/// per rank (rank order).
+pub fn run_wilson_bicgstab(
+    problem: &WilsonProblem,
+    grid: ProcessGrid,
+) -> Result<Vec<WilsonSolveOutcome>> {
+    let p = problem.clone();
+    let g = grid.clone();
+    let results = run_on_grid(grid, move |mut comm| -> Result<WilsonSolveOutcome> {
+        let op = p.build_operator(&mut comm, &g)?;
+        let mut space = EoWilsonSpace::new(op, comm)?;
+        let b = p.rhs(&space.op);
+        let mut x = space.alloc();
+        let stats = bicgstab(&mut space, &mut x, &b, p.tol, p.maxiter)?;
+        let n2 = space.norm2(&x)?;
+        Ok(WilsonSolveOutcome {
+            stats,
+            solution_norm2: n2,
+            matvecs: space.matvec_count(),
+            dirichlet_matvecs: space.dirichlet_matvecs(),
+        })
+    });
+    results.into_iter().collect()
+}
+
+/// Run a distributed GCR-DD solve (additive-Schwarz preconditioned
+/// flexible GCR, Algorithm 1) over `grid`.
+pub fn run_wilson_gcr_dd(
+    problem: &WilsonProblem,
+    grid: ProcessGrid,
+    half_precision: bool,
+) -> Result<Vec<WilsonSolveOutcome>> {
+    let p = problem.clone();
+    let g = grid.clone();
+    let results = run_on_grid(grid, move |mut comm| -> Result<WilsonSolveOutcome> {
+        let op = p.build_operator(&mut comm, &g)?;
+        if half_precision {
+            // Single-half-half: cast the operator to f32, quantized
+            // storage for the Krylov space and the block solves.
+            let op32 = lqcd_solvers::spaces::cast_wilson_op::<f32>(&op)?;
+            let mut space = EoWilsonSpace::new(op32, comm)?.with_half_storage();
+            let b = p.rhs(&space.op);
+            let mut x = space.alloc();
+            let mut precond = SchwarzMR::new(p.mr_steps).quantized();
+            let mut params = p.gcr;
+            params.quantize_krylov = true;
+            let stats = gcr(&mut space, &mut precond, &mut x, &b, &params)?;
+            let n2 = space.norm2(&x)?;
+            Ok(WilsonSolveOutcome {
+                stats,
+                solution_norm2: n2,
+                matvecs: space.matvec_count(),
+                dirichlet_matvecs: space.dirichlet_matvecs(),
+            })
+        } else {
+            let mut space = EoWilsonSpace::new(op, comm)?;
+            let b = p.rhs(&space.op);
+            let mut x = space.alloc();
+            let mut precond = SchwarzMR::new(p.mr_steps);
+            let stats = gcr(&mut space, &mut precond, &mut x, &b, &p.gcr)?;
+            let n2 = space.norm2(&x)?;
+            Ok(WilsonSolveOutcome {
+                stats,
+                solution_norm2: n2,
+                matvecs: space.matvec_count(),
+                dirichlet_matvecs: space.dirichlet_matvecs(),
+            })
+        }
+    });
+    results.into_iter().collect()
+}
+
+/// Per-rank outcome of a staggered multi-shift solve.
+#[derive(Debug, Clone)]
+pub struct StaggeredSolveOutcome {
+    /// Solver statistics (matvecs shared across shifts).
+    pub stats: SolveStats,
+    /// Iteration at which each shift converged.
+    pub converged_at: Vec<usize>,
+    /// Global norm² of each shifted solution.
+    pub solution_norms: Vec<f64>,
+}
+
+/// Run a distributed multi-shift CG solve of `(M†M + σ_i) x_i = b` over
+/// `grid`.
+pub fn run_staggered_multishift(
+    problem: &StaggeredProblem,
+    grid: ProcessGrid,
+) -> Result<Vec<StaggeredSolveOutcome>> {
+    let p = problem.clone();
+    let g = grid.clone();
+    let results = run_on_grid(grid, move |comm| -> Result<StaggeredSolveOutcome> {
+        let rank = comm.rank();
+        let op = p.build_operator(&g, rank)?;
+        let mut space = StaggeredNormalSpace::new(op, comm);
+        let b = p.rhs(&space.op);
+        let ms = multishift_cg(&mut space, &p.shifts, &b, p.tol, p.maxiter)?;
+        let mut norms = Vec::with_capacity(ms.solutions.len());
+        for s in &ms.solutions {
+            norms.push(space.norm2(s)?);
+        }
+        Ok(StaggeredSolveOutcome {
+            stats: ms.stats,
+            converged_at: ms.converged_at,
+            solution_norms: norms,
+        })
+    });
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lqcd_lattice::Dims;
+
+    #[test]
+    fn bicgstab_and_gcr_dd_agree_on_solution_norm() {
+        let p = WilsonProblem::small();
+        let grid = ProcessGrid::new(Dims([1, 1, 2, 2]), p.global).unwrap();
+        let b = run_wilson_bicgstab(&p, grid.clone()).unwrap();
+        let g = run_wilson_gcr_dd(&p, grid, false).unwrap();
+        assert!(b[0].stats.converged && g[0].stats.converged);
+        let rel = (b[0].solution_norm2 - g[0].solution_norm2).abs() / b[0].solution_norm2;
+        assert!(rel < 1e-6, "solvers disagree: {rel}");
+        // All ranks report identical global norms.
+        for r in 1..4 {
+            assert!((b[r].solution_norm2 - b[0].solution_norm2).abs() < 1e-9);
+        }
+        // GCR-DD did block work; BiCGstab did none.
+        assert!(g[0].dirichlet_matvecs > 0);
+        assert_eq!(b[0].dirichlet_matvecs, 0);
+    }
+
+    #[test]
+    fn half_precision_gcr_dd_reaches_single_accuracy() {
+        let mut p = WilsonProblem::small();
+        p.tol = 3e-5;
+        p.gcr.tol = 3e-5;
+        let grid = ProcessGrid::new(Dims([1, 1, 2, 2]), p.global).unwrap();
+        let out = run_wilson_gcr_dd(&p, grid, true).unwrap();
+        assert!(out.iter().all(|o| o.stats.converged));
+        assert!(out[0].stats.residual <= 3e-5);
+    }
+
+    #[test]
+    fn multishift_driver_distributed() {
+        let p = StaggeredProblem::small();
+        let grid = ProcessGrid::new(Dims([1, 1, 2, 2]), p.global).unwrap();
+        let out = run_staggered_multishift(&p, grid).unwrap();
+        assert!(out[0].stats.converged);
+        // Shift ordering: larger shifts converge no later.
+        let ca = &out[0].converged_at;
+        for w in ca.windows(2) {
+            assert!(w[1] <= w[0], "larger shift converged later: {ca:?}");
+        }
+        // Norm decreases with shift (more regularized system).
+        let n = &out[0].solution_norms;
+        for w in n.windows(2) {
+            assert!(w[1] < w[0], "shifted solutions should shrink: {n:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+    use lqcd_lattice::Dims;
+    use lqcd_util::Error;
+
+    #[test]
+    fn exhausted_iteration_budget_surfaces_no_convergence() {
+        let mut p = WilsonProblem::small();
+        p.maxiter = 1;
+        p.tol = 1e-14;
+        let grid = ProcessGrid::new(Dims([1, 1, 1, 2]), p.global).unwrap();
+        match run_wilson_bicgstab(&p, grid) {
+            Err(Error::NoConvergence { solver: "bicgstab", iterations, .. }) => {
+                assert_eq!(iterations, 1);
+            }
+            other => panic!("expected NoConvergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gcr_budget_exhaustion_surfaces_too() {
+        let mut p = WilsonProblem::small();
+        p.gcr.maxiter = 2;
+        p.gcr.tol = 1e-14;
+        let grid = ProcessGrid::new(Dims([1, 1, 1, 2]), p.global).unwrap();
+        assert!(matches!(
+            run_wilson_gcr_dd(&p, grid, false),
+            Err(Error::NoConvergence { solver: "gcr", .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_grid_is_rejected_before_any_solve() {
+        let p = WilsonProblem::small();
+        // 3 ranks cannot divide an 8-extent dimension evenly.
+        assert!(ProcessGrid::new(Dims([1, 1, 1, 3]), p.global).is_err());
+        // Odd local extents break checkerboarding.
+        assert!(ProcessGrid::new(Dims([1, 1, 1, 4]), Dims([8, 8, 8, 12])).is_err());
+    }
+
+    #[test]
+    fn thin_partition_rejects_the_naik_stencil() {
+        // Local T extent 2 < depth 3: the staggered operator must refuse.
+        let mut p = StaggeredProblem::small();
+        p.global = Dims([8, 8, 8, 8]);
+        let grid = ProcessGrid::new(Dims([1, 1, 1, 4]), p.global).unwrap();
+        assert!(matches!(p.build_operator(&grid, 0), Err(Error::Geometry(_))));
+    }
+}

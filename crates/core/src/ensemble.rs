@@ -1,0 +1,195 @@
+//! The ensemble workflow of §2: generate importance-sampled gauge
+//! configurations sequentially, checkpoint them, evaluate observables on
+//! each, and form ensemble averages with jackknife errors — the
+//! generation (capability) and analysis (capacity) phases end to end at
+//! laptop scale.
+
+use lqcd_comms::SingleComm;
+use lqcd_gauge::field::{GaugeField, GaugeStart};
+use lqcd_gauge::heatbath::{heatbath_sweep, overrelax_sweep};
+use lqcd_gauge::{average_plaquette, AsqtadCoeffs, AsqtadLinks};
+use lqcd_dirac::StaggeredOp;
+use lqcd_lattice::{Dims, FaceGeometry, SubLattice};
+use lqcd_util::rng::SeedTree;
+use lqcd_util::{Error, Result};
+use std::sync::Arc;
+
+/// Parameters of a small quenched ensemble.
+#[derive(Clone, Debug)]
+pub struct EnsembleParams {
+    /// Lattice extents.
+    pub global: Dims,
+    /// Gauge coupling β.
+    pub beta: f64,
+    /// Thermalization sweeps before the first saved configuration.
+    pub thermalization: usize,
+    /// Heatbath(+OR) sweeps between saved configurations (decorrelation).
+    pub separation: usize,
+    /// Number of configurations.
+    pub count: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl EnsembleParams {
+    /// A tiny default ensemble for tests and demos.
+    pub fn tiny() -> Self {
+        EnsembleParams {
+            global: Dims([4, 4, 4, 8]),
+            beta: 5.7,
+            thermalization: 6,
+            separation: 2,
+            count: 4,
+            seed: 20260709,
+        }
+    }
+}
+
+/// Generate the ensemble (sequential Markov chain, as §2 describes) and
+/// return the configurations.
+pub fn generate_ensemble(p: &EnsembleParams) -> Result<Vec<GaugeField<f64>>> {
+    let sub = Arc::new(SubLattice::single(p.global)?);
+    let faces = FaceGeometry::new(&sub, 3)?;
+    let seeds = SeedTree::new(p.seed);
+    let mut g = GaugeField::<f64>::generate(sub, &faces, p.global, &seeds, GaugeStart::Hot);
+    let mut sweep_id = 0u64;
+    let mut do_sweeps = |g: &mut GaugeField<f64>, n: usize, sweep_id: &mut u64| {
+        for _ in 0..n {
+            heatbath_sweep(g, p.global, p.beta, &seeds, *sweep_id);
+            overrelax_sweep(g, p.global);
+            *sweep_id += 1;
+        }
+    };
+    do_sweeps(&mut g, p.thermalization, &mut sweep_id);
+    let mut out = Vec::with_capacity(p.count);
+    for _ in 0..p.count {
+        do_sweeps(&mut g, p.separation, &mut sweep_id);
+        out.push(g.clone());
+    }
+    Ok(out)
+}
+
+/// One configuration's measurements.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Average plaquette.
+    pub plaquette: f64,
+    /// Pion correlator `C(t)`.
+    pub pion: Vec<f64>,
+}
+
+/// Analysis phase: measure the plaquette and the staggered pion
+/// correlator on each configuration ("task parallelized over the
+/// available configurations" in production; sequential here).
+pub fn analyze_ensemble(
+    p: &EnsembleParams,
+    configs: &[GaugeField<f64>],
+    mass: f64,
+    tol: f64,
+) -> Result<Vec<Measurement>> {
+    let mut out = Vec::with_capacity(configs.len());
+    for g in configs {
+        let plaquette = average_plaquette(g, p.global);
+        let links = AsqtadLinks::compute(g, p.global, &AsqtadCoeffs::default());
+        let op = StaggeredOp::new(links.fat, links.long, mass)?;
+        let b = crate::observables::point_source(&op, [0, 0, 0, 0], 0)?;
+        let comm = SingleComm::new(p.global)?;
+        let (x_e, x_o, _) = crate::observables::staggered_propagator(&op, comm, &b, tol, 20_000)?;
+        let mut comm = SingleComm::new(p.global)?;
+        let pion =
+            crate::observables::pion_correlator(&x_e, &x_o, p.global.0[3], &mut comm)?;
+        out.push(Measurement { plaquette, pion });
+    }
+    Ok(out)
+}
+
+/// Jackknife mean and error of a per-configuration scalar.
+pub fn jackknife(samples: &[f64]) -> Result<(f64, f64)> {
+    let n = samples.len();
+    if n < 2 {
+        return Err(Error::Config("jackknife needs at least two samples".into()));
+    }
+    let total: f64 = samples.iter().sum();
+    let mean = total / n as f64;
+    // Leave-one-out means.
+    let loo: Vec<f64> = samples.iter().map(|s| (total - s) / (n - 1) as f64).collect();
+    let var: f64 =
+        loo.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>() * (n - 1) as f64 / n as f64;
+    Ok((mean, var.sqrt()))
+}
+
+/// Ensemble-averaged pion correlator with per-timeslice jackknife errors.
+pub fn ensemble_pion(measurements: &[Measurement]) -> Result<Vec<(f64, f64)>> {
+    let nt = measurements
+        .first()
+        .map(|m| m.pion.len())
+        .ok_or_else(|| Error::Config("empty ensemble".into()))?;
+    (0..nt)
+        .map(|t| {
+            let samples: Vec<f64> = measurements.iter().map(|m| m.pion[t]).collect();
+            jackknife(&samples)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jackknife_of_constant_has_zero_error() {
+        let (m, e) = jackknife(&[3.0, 3.0, 3.0, 3.0]).unwrap();
+        assert_eq!(m, 3.0);
+        assert_eq!(e, 0.0);
+        assert!(jackknife(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn jackknife_matches_standard_error_for_gaussian() {
+        // For iid samples, jackknife error ≈ σ/√n.
+        let t = SeedTree::new(5);
+        let mut rng = t.rng();
+        let n = 400;
+        let samples: Vec<f64> = (0..n / 2)
+            .flat_map(|_| {
+                let (a, b) = lqcd_util::rng::normal_pair(&mut rng);
+                [10.0 + a, 10.0 + b]
+            })
+            .collect();
+        let (mean, err) = jackknife(&samples).unwrap();
+        assert!((mean - 10.0).abs() < 0.2);
+        let expect = 1.0 / (n as f64).sqrt();
+        assert!((err - expect).abs() < 0.4 * expect, "err {err} vs σ/√n {expect}");
+    }
+
+    #[test]
+    fn tiny_ensemble_end_to_end() {
+        let mut p = EnsembleParams::tiny();
+        p.count = 3;
+        p.thermalization = 4;
+        let configs = generate_ensemble(&p).unwrap();
+        assert_eq!(configs.len(), 3);
+        // Configurations are decorrelated Markov states, not copies.
+        let p0 = average_plaquette(&configs[0], p.global);
+        let p1 = average_plaquette(&configs[1], p.global);
+        assert!((p0 - p1).abs() > 1e-8, "chain did not move");
+        // Plaquettes in the physical range for β = 5.7.
+        for c in &configs {
+            let plq = average_plaquette(c, p.global);
+            assert!((0.3..0.7).contains(&plq), "plaquette {plq}");
+        }
+        let measurements = analyze_ensemble(&p, &configs, 0.5, 1e-8).unwrap();
+        let avg = ensemble_pion(&measurements).unwrap();
+        assert_eq!(avg.len(), p.global.0[3]);
+        // Averaged correlator positive, decaying, with finite errors.
+        for (t, (c, e)) in avg.iter().enumerate().take(4) {
+            assert!(*c > 0.0, "C({t}) = {c}");
+            assert!(e.is_finite() && *e >= 0.0);
+        }
+        assert!(avg[2].0 < avg[0].0, "no decay in the ensemble average");
+        // Plaquette jackknife over the ensemble.
+        let plqs: Vec<f64> = measurements.iter().map(|m| m.plaquette).collect();
+        let (pm, pe) = jackknife(&plqs).unwrap();
+        assert!((0.3..0.7).contains(&pm) && pe < 0.1);
+    }
+}

@@ -1,0 +1,25 @@
+//! The paper's system, assembled: high-level problem builders and solver
+//! drivers that put the multi-dimensionally partitioned operators, the
+//! GCR-DD solver stack, and the simulated cluster together behind a small
+//! API. This is the crate examples and benches program against.
+//!
+//! * [`WilsonProblem`] / [`StaggeredProblem`] — declarative descriptions
+//!   of a solve (volume, process grid, gauge disorder, mass, solver
+//!   parameters) that any rank can instantiate;
+//! * [`drivers`] — SPMD entry points: run a whole distributed solve over
+//!   a process grid with one call, returning per-rank statistics;
+//! * [`calibration`] — measured-iteration experiments linking the real
+//!   solvers to the performance model's iteration inputs (the
+//!   EXPERIMENTS.md data).
+
+pub mod calibration;
+pub mod drivers;
+pub mod ensemble;
+pub mod observables;
+pub mod problem;
+
+pub use drivers::{
+    run_staggered_multishift, run_wilson_bicgstab, run_wilson_gcr_dd, StaggeredSolveOutcome,
+    WilsonSolveOutcome,
+};
+pub use problem::{StaggeredProblem, WilsonProblem};

@@ -1,0 +1,561 @@
+//! The Wilson and Wilson-clover Dirac operators.
+//!
+//! Conventions (paper §2.2): the full matrix is
+//! `M = −(1/2) D + (4 + m + A)` with the hopping term
+//! `D_{x,x'} = Σ_µ [P−µ ⊗ U_µ(x) δ_{x+µ̂,x'} + P+µ ⊗ U†_µ(x−µ̂) δ_{x−µ̂,x'}]`.
+//! Internally we compute the *doubled* stencil `D̂ = 2D` (our projectors
+//! return `(1 ± γµ)ψ`, twice `P±ψ`, saving the halving until the final
+//! axpy), so `M ψ = T ψ − (1/4) D̂ ψ` with `T = 4 + m + A` site-diagonal.
+//!
+//! Even-odd (red-black) preconditioning solves the Schur complement
+//! `M̂_oo = T_oo − (1/16) D̂_oe T_ee⁻¹ D̂_eo` (§3.1).
+
+use crate::exchange::exchange_ghosts;
+use crate::BoundaryMode;
+use lqcd_comms::Communicator;
+use lqcd_field::{blas, LatticeField};
+use lqcd_gauge::GaugeField;
+use lqcd_lattice::{FaceGeometry, Neighbor, Parity, SubLattice, NDIM};
+use lqcd_su3::{CloverSite, Projector, WilsonSpinor};
+use lqcd_util::{Error, Real, Result};
+use std::sync::Arc;
+
+/// Ghost-zone depth of the Wilson stencil (nearest neighbour).
+pub const WILSON_DEPTH: usize = 1;
+
+/// A Wilson spinor field.
+pub type SpinorField<R> = LatticeField<R, WilsonSpinor<R>>;
+
+/// The Wilson(-clover) operator bound to one rank's gauge field.
+#[derive(Clone)]
+pub struct WilsonCloverOp<R: Real> {
+    /// Gauge links with depth-1 backward ghosts.
+    pub gauge: GaugeField<R>,
+    /// The clover term `A` per parity (*without* the `4 + m` shift);
+    /// `None` gives the plain Wilson operator.
+    pub clover: Option<[LatticeField<R, CloverSite<R>>; 2]>,
+    /// Precomputed `(4 + m + A)⁻¹` per parity (needed for even-odd
+    /// preconditioning); built by [`WilsonCloverOp::build_t_inverse`].
+    pub t_inv: Option<[LatticeField<R, CloverSite<R>>; 2]>,
+    /// Quark mass parameter `m`.
+    pub mass: f64,
+    sub: Arc<SubLattice>,
+    faces: FaceGeometry,
+}
+
+impl<R: Real> WilsonCloverOp<R> {
+    /// Bind the operator to a gauge field (and optional clover term).
+    pub fn new(
+        gauge: GaugeField<R>,
+        clover: Option<[LatticeField<R, CloverSite<R>>; 2]>,
+        mass: f64,
+    ) -> Result<Self> {
+        let sub = gauge.sublattice().clone();
+        let faces = FaceGeometry::new(&sub, WILSON_DEPTH)?;
+        if gauge.depth() < WILSON_DEPTH {
+            return Err(Error::Geometry(
+                "gauge field ghost depth too small for the Wilson stencil".into(),
+            ));
+        }
+        Ok(Self { gauge, clover, t_inv: None, mass, sub, faces })
+    }
+
+    /// The subvolume the operator acts on.
+    pub fn sublattice(&self) -> &Arc<SubLattice> {
+        &self.sub
+    }
+
+    /// The face geometry (depth 1).
+    pub fn faces(&self) -> &FaceGeometry {
+        &self.faces
+    }
+
+    /// Allocate a compatible spinor field.
+    pub fn alloc(&self, parity: Parity) -> SpinorField<R> {
+        LatticeField::zeros(self.sub.clone(), &self.faces, parity, 0)
+    }
+
+    /// The diagonal shift `4 + m`.
+    #[inline]
+    pub fn diag_shift(&self) -> R {
+        R::from_f64(4.0 + self.mass)
+    }
+
+    /// Precompute `T⁻¹ = (4 + m + A)⁻¹` for even-odd preconditioning.
+    pub fn build_t_inverse(&mut self) -> Result<()> {
+        let shift = self.diag_shift();
+        let mut out = [
+            LatticeField::zeros(self.sub.clone(), &self.faces, Parity::Even, 0),
+            LatticeField::zeros(self.sub.clone(), &self.faces, Parity::Odd, 0),
+        ];
+        for p in Parity::BOTH {
+            let n = out[p.index()].num_sites();
+            for idx in 0..n {
+                let a = match &self.clover {
+                    Some(c) => c[p.index()].site(idx),
+                    None => CloverSite::default(),
+                };
+                out[p.index()].set_site(idx, a.add_diag(shift).inverse()?);
+            }
+        }
+        self.t_inv = Some(out);
+        Ok(())
+    }
+
+    /// The doubled hopping stencil `out = D̂ src` (`D̂ = 2D`): interior
+    /// kernel plus one exterior kernel per partitioned dimension.
+    ///
+    /// `src` is mutable because its ghost zones are refreshed in `Full`
+    /// mode. `out` must have the opposite parity of `src`.
+    pub fn dslash<C: Communicator>(
+        &self,
+        out: &mut SpinorField<R>,
+        src: &mut SpinorField<R>,
+        comm: &mut C,
+        mode: BoundaryMode,
+    ) -> Result<()> {
+        if out.parity() != src.parity().other() {
+            return Err(Error::Shape("dslash: out must have opposite parity to src".into()));
+        }
+        if mode == BoundaryMode::Full {
+            exchange_ghosts(src, &self.faces, comm)?;
+        }
+        self.dslash_interior(out, src);
+        if mode == BoundaryMode::Full {
+            for mu in 0..NDIM {
+                if self.sub.partitioned[mu] {
+                    self.dslash_exterior(out, src, mu);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Interior kernel: every contribution that resolves inside the body.
+    /// Boundary sites are *partially* updated (all their interior hops),
+    /// exactly as §6.2 describes.
+    fn dslash_interior(&self, out: &mut SpinorField<R>, src: &SpinorField<R>) {
+        let out_parity = out.parity();
+        let src_parity = src.parity();
+        for (idx, c) in self.sub.sites(out_parity) {
+            let mut acc = WilsonSpinor::zero();
+            for mu in 0..NDIM {
+                // Forward hop: U_µ(x) (1 − γµ) ψ(x + µ̂).
+                if let Neighbor::Interior { idx: nidx } =
+                    self.sub.neighbor(c, mu, 1, WILSON_DEPTH)
+                {
+                    let proj = Projector { mu, plus: false };
+                    let h = proj
+                        .project(&src.site(nidx))
+                        .color_mul(&self.gauge.link(mu, out_parity, idx));
+                    proj.accumulate(&mut acc, &h);
+                }
+                // Backward hop: U†_µ(x − µ̂) (1 + γµ) ψ(x − µ̂).
+                if let Neighbor::Interior { idx: nidx } =
+                    self.sub.neighbor(c, mu, -1, WILSON_DEPTH)
+                {
+                    let proj = Projector { mu, plus: true };
+                    let h = proj
+                        .project(&src.site(nidx))
+                        .color_adj_mul(&self.gauge.link(mu, src_parity, nidx));
+                    proj.accumulate(&mut acc, &h);
+                }
+            }
+            out.set_site(idx, acc);
+        }
+    }
+
+    /// Exterior kernel for dimension `mu`: adds the boundary contributions
+    /// read from ghost zones. Must run after the exchange of dimension
+    /// `mu` completes; corner sites accumulate across multiple calls.
+    fn dslash_exterior(&self, out: &mut SpinorField<R>, src: &SpinorField<R>, mu: usize) {
+        let out_parity = out.parity();
+        let src_parity = src.parity();
+        let l = self.sub.dims.extent(mu);
+        // High face: forward hop crosses into the forward ghost.
+        for &cb in self.faces.high_face(mu, out_parity) {
+            let idx = cb as usize;
+            let c = self.sub.cb_coords(out_parity, idx);
+            debug_assert_eq!(c[mu], l - 1);
+            let hop = self.sub.neighbor(c, mu, 1, WILSON_DEPTH);
+            let Neighbor::Ghost { forward, offset, .. } = hop else { unreachable!() };
+            let proj = Projector { mu, plus: false };
+            let psi = src.ghost(mu, forward, offset);
+            let h = proj.project(&psi).color_mul(&self.gauge.link(mu, out_parity, idx));
+            let mut acc = out.site(idx);
+            proj.accumulate(&mut acc, &h);
+            out.set_site(idx, acc);
+        }
+        // Low face: backward hop crosses into the backward ghost; the
+        // link comes from the gauge ghost of the same dimension.
+        for &cb in self.faces.low_face(mu, out_parity) {
+            let idx = cb as usize;
+            let c = self.sub.cb_coords(out_parity, idx);
+            debug_assert_eq!(c[mu], 0);
+            let hop = self.sub.neighbor(c, mu, -1, WILSON_DEPTH);
+            let Neighbor::Ghost { forward, offset, .. } = hop else { unreachable!() };
+            let proj = Projector { mu, plus: true };
+            let psi = src.ghost(mu, forward, offset);
+            let u = self.gauge.link_resolved(mu, src_parity, hop);
+            let h = proj.project(&psi).color_adj_mul(&u);
+            let mut acc = out.site(idx);
+            proj.accumulate(&mut acc, &h);
+            out.set_site(idx, acc);
+        }
+    }
+
+    /// Site-diagonal term: `out = (4 + m) src + A src`.
+    pub fn t_apply(&self, out: &mut SpinorField<R>, src: &SpinorField<R>) {
+        let p = src.parity();
+        let shift = self.diag_shift();
+        match &self.clover {
+            Some(cl) => {
+                let cf = &cl[p.index()];
+                for idx in 0..src.num_sites() {
+                    let s = src.site(idx);
+                    let v = cf.site(idx).apply(&s).add(&s.scale(shift));
+                    out.set_site(idx, v);
+                }
+            }
+            None => {
+                blas::copy(out, src);
+                blas::scale(out, shift);
+            }
+        }
+    }
+
+    /// Apply the precomputed `T⁻¹` (requires
+    /// [`WilsonCloverOp::build_t_inverse`]).
+    pub fn t_inv_apply(&self, out: &mut SpinorField<R>, src: &SpinorField<R>) -> Result<()> {
+        let t_inv = self.t_inv.as_ref().ok_or_else(|| Error::Config(
+            "T-inverse not built; call build_t_inverse() before even-odd preconditioning".into(),
+        ))?;
+        let cf = &t_inv[src.parity().index()];
+        for idx in 0..src.num_sites() {
+            out.set_site(idx, cf.site(idx).apply(&src.site(idx)));
+        }
+        Ok(())
+    }
+
+    /// Full (two-parity) operator: `out = M src = T src − (1/4) D̂ src`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn apply_full<C: Communicator>(
+        &self,
+        out_e: &mut SpinorField<R>,
+        out_o: &mut SpinorField<R>,
+        src_e: &mut SpinorField<R>,
+        src_o: &mut SpinorField<R>,
+        comm: &mut C,
+        mode: BoundaryMode,
+    ) -> Result<()> {
+        // Hopping parts first (they overwrite `out`).
+        self.dslash(out_e, src_o, comm, mode)?;
+        self.dslash(out_o, src_e, comm, mode)?;
+        let quarter = -R::from_f64(0.25);
+        blas::scale(out_e, quarter);
+        blas::scale(out_o, quarter);
+        // Add the site-diagonal term.
+        let mut t = LatticeField::zeros_like(src_e);
+        self.t_apply(&mut t, src_e);
+        blas::axpy(R::ONE, &t, out_e);
+        let mut t = LatticeField::zeros_like(src_o);
+        self.t_apply(&mut t, src_o);
+        blas::axpy(R::ONE, &t, out_o);
+        Ok(())
+    }
+
+    /// Even-odd preconditioned operator on the odd parity:
+    /// `out = M̂ src = T_oo src − (1/16) D̂_oe T_ee⁻¹ D̂_eo src`.
+    pub fn apply_eo_prec<C: Communicator>(
+        &self,
+        out: &mut SpinorField<R>,
+        src: &mut SpinorField<R>,
+        scratch_e: &mut SpinorField<R>,
+        scratch_e2: &mut SpinorField<R>,
+        comm: &mut C,
+        mode: BoundaryMode,
+    ) -> Result<()> {
+        if src.parity() != Parity::Odd {
+            return Err(Error::Shape("eo-preconditioned operator acts on odd parity".into()));
+        }
+        self.dslash(scratch_e, src, comm, mode)?;
+        self.t_inv_apply(scratch_e2, scratch_e)?;
+        self.dslash(out, scratch_e2, comm, mode)?;
+        blas::scale(out, -R::from_f64(1.0 / 16.0));
+        let mut t = LatticeField::zeros_like(src);
+        self.t_apply(&mut t, src);
+        blas::axpy(R::ONE, &t, out);
+        Ok(())
+    }
+
+    /// Reconstruct the even solution after an odd-parity Schur solve:
+    /// `x_e = T_ee⁻¹ (b_e + (1/4) D̂_eo x_o)`.
+    pub fn reconstruct_even<C: Communicator>(
+        &self,
+        x_e: &mut SpinorField<R>,
+        b_e: &SpinorField<R>,
+        x_o: &mut SpinorField<R>,
+        comm: &mut C,
+        mode: BoundaryMode,
+    ) -> Result<()> {
+        let mut tmp = LatticeField::zeros_like(b_e);
+        self.dslash(&mut tmp, x_o, comm, mode)?;
+        blas::scale(&mut tmp, R::from_f64(0.25));
+        blas::axpy(R::ONE, b_e, &mut tmp);
+        self.t_inv_apply(x_e, &tmp)
+    }
+}
+
+/// Apply γ₅ to every site of a spinor field in place. With the
+/// γ₅-hermiticity of the Wilson operator (`γ₅ M γ₅ = M†`, likewise for
+/// the even-odd Schur complement), this makes adjoint applications free —
+/// the basis of CGNR/CGNE (§3.1).
+pub fn gamma5_in_place<R: Real>(f: &mut SpinorField<R>) {
+    for idx in 0..f.num_sites() {
+        f.set_site(idx, lqcd_su3::gamma::gamma5(&f.site(idx)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lqcd_comms::SingleComm;
+    use lqcd_field::blas::{cdot_local, max_abs_diff, norm2_local};
+    use lqcd_gauge::clover_build::build_clover_field;
+    use lqcd_gauge::field::GaugeStart;
+    use lqcd_lattice::Dims;
+    use lqcd_su3::gamma::{gamma5, project_reference};
+    use lqcd_util::rng::SeedTree;
+    use lqcd_util::Complex;
+
+    const GLOBAL: Dims = Dims([4, 4, 4, 8]);
+
+    fn make_op(start: GaugeStart, mass: f64, with_clover: bool) -> WilsonCloverOp<f64> {
+        let sub = Arc::new(SubLattice::single(GLOBAL).unwrap());
+        let faces = FaceGeometry::new(&sub, 1).unwrap();
+        let gauge =
+            GaugeField::<f64>::generate(sub, &faces, GLOBAL, &SeedTree::new(5), start);
+        let clover = with_clover.then(|| build_clover_field(&gauge, GLOBAL, 1.0));
+        WilsonCloverOp::new(gauge, clover, mass).unwrap()
+    }
+
+    fn rand_pair(op: &WilsonCloverOp<f64>, seed: u64) -> (SpinorField<f64>, SpinorField<f64>) {
+        let t = SeedTree::new(seed);
+        let mut rng = t.rng();
+        let mut e = op.alloc(Parity::Even);
+        e.fill(|_| WilsonSpinor::random(&mut rng));
+        let mut o = op.alloc(Parity::Odd);
+        o.fill(|_| WilsonSpinor::random(&mut rng));
+        (e, o)
+    }
+
+    /// Independent reference: apply M to a full-lattice vector indexed by
+    /// global coordinates using the dense projector formula.
+    fn reference_apply(
+        op: &WilsonCloverOp<f64>,
+        src_e: &SpinorField<f64>,
+        src_o: &SpinorField<f64>,
+    ) -> (SpinorField<f64>, SpinorField<f64>) {
+        let sub = op.sublattice().clone();
+        let fetch = |c: [usize; 4]| -> WilsonSpinor<f64> {
+            let p = sub.parity(c);
+            let f = if p == Parity::Even { src_e } else { src_o };
+            f.site(sub.cb_index(c))
+        };
+        let link = |c: [usize; 4], mu: usize| -> lqcd_su3::Su3<f64> {
+            op.gauge.link(mu, sub.parity(c), sub.cb_index(c))
+        };
+        let mut out_e = op.alloc(Parity::Even);
+        let mut out_o = op.alloc(Parity::Odd);
+        for p in Parity::BOTH {
+            for (idx, c) in sub.sites(p) {
+                // T part.
+                let s = fetch(c);
+                let mut acc = s.scale(4.0 + op.mass);
+                if let Some(cl) = &op.clover {
+                    acc = acc.add(&cl[p.index()].site(idx).apply(&s));
+                }
+                // Hopping: −(1/2) Σ [P−µ U ψ(x+µ̂) + P+µ U† ψ(x−µ̂)]
+                //        = −(1/4) Σ [(1−γµ) ... ] with doubled projectors.
+                for mu in 0..4 {
+                    let cp = GLOBAL.displace(c, mu, 1);
+                    let cm = GLOBAL.displace(c, mu, -1);
+                    let fwd = project_reference(mu, false, &fetch(cp));
+                    let fwd = WilsonSpinor::from_fn(|sp| link(c, mu).mul_vec(&fwd.s[sp]));
+                    let bwd = project_reference(mu, true, &fetch(cm));
+                    let bwd =
+                        WilsonSpinor::from_fn(|sp| link(cm, mu).adj_mul_vec(&bwd.s[sp]));
+                    acc = acc.add(&fwd.add(&bwd).scale(-0.25));
+                }
+                if p == Parity::Even {
+                    out_e.set_site(idx, acc);
+                } else {
+                    out_o.set_site(idx, acc);
+                }
+            }
+        }
+        (out_e, out_o)
+    }
+
+    #[test]
+    fn matches_reference_plain_wilson() {
+        let op = make_op(GaugeStart::Disordered(0.3), 0.1, false);
+        let (mut se, mut so) = rand_pair(&op, 1);
+        let (want_e, want_o) = reference_apply(&op, &se, &so);
+        let mut comm = SingleComm::new(GLOBAL).unwrap();
+        let mut oe = op.alloc(Parity::Even);
+        let mut oo = op.alloc(Parity::Odd);
+        op.apply_full(&mut oe, &mut oo, &mut se, &mut so, &mut comm, BoundaryMode::Full)
+            .unwrap();
+        assert!(max_abs_diff(&oe, &want_e) < 1e-12);
+        assert!(max_abs_diff(&oo, &want_o) < 1e-12);
+    }
+
+    #[test]
+    fn matches_reference_with_clover() {
+        let op = make_op(GaugeStart::Disordered(0.25), -0.2, true);
+        let (mut se, mut so) = rand_pair(&op, 2);
+        let (want_e, want_o) = reference_apply(&op, &se, &so);
+        let mut comm = SingleComm::new(GLOBAL).unwrap();
+        let mut oe = op.alloc(Parity::Even);
+        let mut oo = op.alloc(Parity::Odd);
+        op.apply_full(&mut oe, &mut oo, &mut se, &mut so, &mut comm, BoundaryMode::Full)
+            .unwrap();
+        assert!(max_abs_diff(&oe, &want_e) < 1e-12);
+        assert!(max_abs_diff(&oo, &want_o) < 1e-12);
+    }
+
+    #[test]
+    fn free_field_point_source_stencil() {
+        // Cold links, source δ at one even site: M δ = (4+m)δ at the site
+        // and −(1/2)P∓ at the eight neighbours.
+        let op = make_op(GaugeStart::Cold, 0.5, false);
+        let sub = op.sublattice().clone();
+        let mut se = op.alloc(Parity::Even);
+        let mut so = op.alloc(Parity::Odd);
+        let c0 = [2, 2, 2, 4];
+        assert_eq!(sub.parity(c0), Parity::Even);
+        let mut point = WilsonSpinor::zero();
+        point.s[0].c[0] = Complex::one();
+        se.set_site(sub.cb_index(c0), point);
+        let mut comm = SingleComm::new(GLOBAL).unwrap();
+        let mut oe = op.alloc(Parity::Even);
+        let mut oo = op.alloc(Parity::Odd);
+        op.apply_full(&mut oe, &mut oo, &mut se, &mut so, &mut comm, BoundaryMode::Full)
+            .unwrap();
+        // At the source: (4 + 0.5)·δ.
+        let at_src = oe.site(sub.cb_index(c0));
+        assert!((at_src.s[0].c[0].re - 4.5).abs() < 1e-13);
+        // At the +T neighbour: −(1/2)(P+t ψ)... the neighbour receives the
+        // backward-hop term −(1/2) P+µ δ; for t: P+t point has norm² 1/2.
+        let ct = GLOBAL.displace(c0, 3, 1);
+        let at_t = oo.site(sub.cb_index(ct));
+        let expect = project_reference(3, true, &point).scale(-0.25);
+        assert!(at_t.sub(&expect).norm_sqr() < 1e-26);
+        // Total support: exactly 9 sites (source + 8 neighbours).
+        let mut support = 0;
+        for idx in 0..oe.num_sites() {
+            if oe.site(idx).norm_sqr() > 1e-20 {
+                support += 1;
+            }
+        }
+        for idx in 0..oo.num_sites() {
+            if oo.site(idx).norm_sqr() > 1e-20 {
+                support += 1;
+            }
+        }
+        assert_eq!(support, 9);
+    }
+
+    #[test]
+    fn gamma5_hermiticity() {
+        // γ₅ M γ₅ = M†, i.e. ⟨w, M v⟩ = ⟨γ₅ M γ₅ w, v⟩.
+        let op = make_op(GaugeStart::Disordered(0.3), 0.05, true);
+        let (mut ve, mut vo) = rand_pair(&op, 3);
+        let (we, wo) = rand_pair(&op, 4);
+        let mut comm = SingleComm::new(GLOBAL).unwrap();
+        let mut mv_e = op.alloc(Parity::Even);
+        let mut mv_o = op.alloc(Parity::Odd);
+        op.apply_full(&mut mv_e, &mut mv_o, &mut ve, &mut vo, &mut comm, BoundaryMode::Full)
+            .unwrap();
+        let lhs = cdot_local(&we, &mv_e) + cdot_local(&wo, &mv_o);
+        // γ₅ w.
+        let g5 = |f: &SpinorField<f64>| {
+            let mut out = LatticeField::zeros_like(f);
+            for idx in 0..f.num_sites() {
+                out.set_site(idx, gamma5(&f.site(idx)));
+            }
+            out
+        };
+        let mut g5we = g5(&we);
+        let mut g5wo = g5(&wo);
+        let mut mg_e = op.alloc(Parity::Even);
+        let mut mg_o = op.alloc(Parity::Odd);
+        op.apply_full(&mut mg_e, &mut mg_o, &mut g5we, &mut g5wo, &mut comm, BoundaryMode::Full)
+            .unwrap();
+        let g5mg_e = g5(&mg_e);
+        let g5mg_o = g5(&mg_o);
+        let rhs = cdot_local(&g5mg_e, &ve) + cdot_local(&g5mg_o, &vo);
+        assert!(
+            (lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0),
+            "γ₅-hermiticity violated: {lhs} vs {rhs}"
+        );
+    }
+
+    #[test]
+    fn schur_complement_identity() {
+        // For b = M x: M̂ x_o == b_o + (1/4) D̂_oe T_ee⁻¹ b_e.
+        let mut op = make_op(GaugeStart::Disordered(0.3), 0.2, true);
+        op.build_t_inverse().unwrap();
+        let (mut xe, mut xo) = rand_pair(&op, 5);
+        let mut comm = SingleComm::new(GLOBAL).unwrap();
+        let mut be = op.alloc(Parity::Even);
+        let mut bo = op.alloc(Parity::Odd);
+        op.apply_full(&mut be, &mut bo, &mut xe, &mut xo, &mut comm, BoundaryMode::Full)
+            .unwrap();
+        // LHS: M̂ x_o.
+        let mut lhs = op.alloc(Parity::Odd);
+        let mut s1 = op.alloc(Parity::Even);
+        let mut s2 = op.alloc(Parity::Even);
+        op.apply_eo_prec(&mut lhs, &mut xo, &mut s1, &mut s2, &mut comm, BoundaryMode::Full)
+            .unwrap();
+        // RHS: b_o + (1/4) D̂_oe T⁻¹ b_e.
+        let mut tinv_be = op.alloc(Parity::Even);
+        op.t_inv_apply(&mut tinv_be, &be).unwrap();
+        let mut rhs = op.alloc(Parity::Odd);
+        op.dslash(&mut rhs, &mut tinv_be, &mut comm, BoundaryMode::Full).unwrap();
+        blas::scale(&mut rhs, 0.25);
+        blas::axpy(1.0, &bo, &mut rhs);
+        assert!(max_abs_diff(&lhs, &rhs) < 1e-11);
+    }
+
+    #[test]
+    fn even_reconstruction_completes_the_solve() {
+        // If x solves Mx = b then reconstruct_even recovers x_e from
+        // (b_e, x_o).
+        let mut op = make_op(GaugeStart::Disordered(0.2), 0.3, true);
+        op.build_t_inverse().unwrap();
+        let (mut xe, mut xo) = rand_pair(&op, 6);
+        let mut comm = SingleComm::new(GLOBAL).unwrap();
+        let mut be = op.alloc(Parity::Even);
+        let mut bo = op.alloc(Parity::Odd);
+        op.apply_full(&mut be, &mut bo, &mut xe, &mut xo, &mut comm, BoundaryMode::Full)
+            .unwrap();
+        let mut xe_rec = op.alloc(Parity::Even);
+        op.reconstruct_even(&mut xe_rec, &be, &mut xo, &mut comm, BoundaryMode::Full).unwrap();
+        assert!(max_abs_diff(&xe_rec, &xe) < 1e-11);
+    }
+
+    #[test]
+    fn dirichlet_equals_full_on_unpartitioned_lattice() {
+        let op = make_op(GaugeStart::Disordered(0.3), 0.1, false);
+        let (_, mut so) = rand_pair(&op, 7);
+        let mut comm = SingleComm::new(GLOBAL).unwrap();
+        let mut a = op.alloc(Parity::Even);
+        let mut b = op.alloc(Parity::Even);
+        op.dslash(&mut a, &mut so, &mut comm, BoundaryMode::Full).unwrap();
+        op.dslash(&mut b, &mut so, &mut comm, BoundaryMode::Dirichlet).unwrap();
+        assert_eq!(max_abs_diff(&a, &b), 0.0);
+        assert!(norm2_local(&a) > 0.0);
+    }
+}

@@ -1,0 +1,385 @@
+//! Distributed-equals-serial: the multi-rank Dirac operators must
+//! reproduce the single-rank result site-for-site, for every partitioning
+//! scheme — the correctness core of the paper's multi-dimensional
+//! parallelization (§6).
+
+use lqcd_comms::{run_on_grid, Communicator, SingleComm};
+use lqcd_dirac::{BoundaryMode, StaggeredOp, WilsonCloverOp, STAGGERED_DEPTH, WILSON_DEPTH};
+use lqcd_field::LatticeField;
+use lqcd_gauge::asqtad::{AsqtadCoeffs, AsqtadLinks};
+use lqcd_gauge::clover_build::{build_clover_field, restrict_clover};
+use lqcd_gauge::field::GaugeStart;
+use lqcd_gauge::GaugeField;
+use lqcd_lattice::{Dims, FaceGeometry, Parity, ProcessGrid, SubLattice};
+use lqcd_su3::{ColorVector, WilsonSpinor};
+use lqcd_util::rng::SeedTree;
+use lqcd_util::Complex;
+use std::sync::Arc;
+
+const GLOBAL: Dims = Dims([8, 8, 8, 8]);
+const SEED: u64 = 20260707;
+
+/// Deterministic source spinor keyed on global coordinates, so every rank
+/// builds the identical physical field.
+fn wilson_source(seed: &SeedTree, gc: [usize; 4]) -> WilsonSpinor<f64> {
+    let key = GLOBAL.index(gc) as u64;
+    WilsonSpinor::random(&mut seed.child("src").stream(key))
+}
+
+fn staggered_source(seed: &SeedTree, gc: [usize; 4]) -> ColorVector<f64> {
+    let key = GLOBAL.index(gc) as u64;
+    ColorVector::random(&mut seed.child("src").stream(key))
+}
+
+fn serial_wilson() -> (Vec<Complex<f64>>, Arc<SubLattice>) {
+    let seed = SeedTree::new(SEED);
+    let sub = Arc::new(SubLattice::single(GLOBAL).unwrap());
+    let faces = FaceGeometry::new(&sub, WILSON_DEPTH).unwrap();
+    let gauge = GaugeField::<f64>::generate(
+        sub.clone(),
+        &faces,
+        GLOBAL,
+        &seed,
+        GaugeStart::Disordered(0.3),
+    );
+    let clover = build_clover_field(&gauge, GLOBAL, 1.0);
+    let op = WilsonCloverOp::new(gauge, Some(clover), 0.1).unwrap();
+    let mut se = op.alloc(Parity::Even);
+    let mut so = op.alloc(Parity::Odd);
+    let subc = sub.clone();
+    let s2 = seed.clone();
+    se.fill(|idx| wilson_source(&s2, subc.cb_coords(Parity::Even, idx)));
+    let subc = sub.clone();
+    so.fill(|idx| wilson_source(&seed, subc.cb_coords(Parity::Odd, idx)));
+    let mut comm = SingleComm::new(GLOBAL).unwrap();
+    let mut oe = op.alloc(Parity::Even);
+    let mut oo = op.alloc(Parity::Odd);
+    op.apply_full(&mut oe, &mut oo, &mut se, &mut so, &mut comm, BoundaryMode::Full).unwrap();
+    // Flatten by global lex index for easy comparison.
+    let mut flat = vec![Complex::zero(); GLOBAL.volume() * 12];
+    for p in Parity::BOTH {
+        let f = if p == Parity::Even { &oe } else { &oo };
+        for (idx, c) in sub.sites(p) {
+            let s = f.site(idx);
+            let base = GLOBAL.index(c) * 12;
+            for sp in 0..4 {
+                for col in 0..3 {
+                    flat[base + sp * 3 + col] = s.s[sp].c[col];
+                }
+            }
+        }
+    }
+    (flat, sub)
+}
+
+#[test]
+fn wilson_clover_distributed_equals_serial_all_schemes() {
+    let (serial, _) = serial_wilson();
+    let serial = Arc::new(serial);
+    // Grids exercising T-only, ZT, YZT and XYZT partitionings.
+    for shape in [
+        Dims([1, 1, 1, 2]),
+        Dims([1, 1, 2, 2]),
+        Dims([1, 2, 2, 2]),
+        Dims([2, 2, 2, 2]),
+        Dims([1, 1, 1, 4]),
+    ] {
+        let grid = ProcessGrid::new(shape, GLOBAL).unwrap();
+        let grid2 = grid.clone();
+        let serial2 = serial.clone();
+        let max_err = run_on_grid(grid, move |mut comm| {
+            let seed = SeedTree::new(SEED);
+            let sub = Arc::new(SubLattice::for_rank(&grid2, comm.rank()));
+            let faces = FaceGeometry::new(&sub, WILSON_DEPTH).unwrap();
+            let mut gauge = GaugeField::<f64>::generate(
+                sub.clone(),
+                &faces,
+                GLOBAL,
+                &seed,
+                GaugeStart::Disordered(0.3),
+            );
+            gauge.exchange_ghosts(&mut comm, &faces).unwrap();
+            // Clover built globally (site-diagonal) and restricted.
+            let gsub = Arc::new(SubLattice::single(GLOBAL).unwrap());
+            let gfaces = FaceGeometry::new(&gsub, WILSON_DEPTH).unwrap();
+            let ggauge = GaugeField::<f64>::generate(
+                gsub,
+                &gfaces,
+                GLOBAL,
+                &seed,
+                GaugeStart::Disordered(0.3),
+            );
+            let gclover = build_clover_field(&ggauge, GLOBAL, 1.0);
+            let clover = restrict_clover(&gclover, sub.clone(), &faces);
+            let op = WilsonCloverOp::new(gauge, Some(clover), 0.1).unwrap();
+            let mut se = op.alloc(Parity::Even);
+            let mut so = op.alloc(Parity::Odd);
+            let subc = sub.clone();
+            let s2 = seed.clone();
+            se.fill(|idx| {
+                let c = subc.cb_coords(Parity::Even, idx);
+                let mut gc = c;
+                for d in 0..4 {
+                    gc[d] = c[d] + subc.origin[d];
+                }
+                wilson_source(&s2, gc)
+            });
+            let subc = sub.clone();
+            so.fill(|idx| {
+                let c = subc.cb_coords(Parity::Odd, idx);
+                let mut gc = c;
+                for d in 0..4 {
+                    gc[d] = c[d] + subc.origin[d];
+                }
+                wilson_source(&seed, gc)
+            });
+            let mut oe = op.alloc(Parity::Even);
+            let mut oo = op.alloc(Parity::Odd);
+            op.apply_full(&mut oe, &mut oo, &mut se, &mut so, &mut comm, BoundaryMode::Full)
+                .unwrap();
+            // Compare against the serial result.
+            let mut max_err = 0.0f64;
+            for p in Parity::BOTH {
+                let f = if p == Parity::Even { &oe } else { &oo };
+                for (idx, c) in sub.sites(p) {
+                    let mut gc = c;
+                    for d in 0..4 {
+                        gc[d] = c[d] + sub.origin[d];
+                    }
+                    let base = GLOBAL.index(gc) * 12;
+                    let s = f.site(idx);
+                    for sp in 0..4 {
+                        for col in 0..3 {
+                            let d = s.s[sp].c[col] - serial2[base + sp * 3 + col];
+                            max_err = max_err.max(d.abs());
+                        }
+                    }
+                }
+            }
+            max_err
+        });
+        let worst = max_err.iter().cloned().fold(0.0, f64::max);
+        assert!(worst < 1e-11, "scheme {shape:?}: max deviation {worst}");
+    }
+}
+
+#[test]
+fn staggered_distributed_equals_serial_all_schemes() {
+    let seed = SeedTree::new(SEED + 1);
+    // Serial reference.
+    let gsub = Arc::new(SubLattice::single(GLOBAL).unwrap());
+    let gfaces = FaceGeometry::new(&gsub, STAGGERED_DEPTH).unwrap();
+    let thin = GaugeField::<f64>::generate(
+        gsub.clone(),
+        &gfaces,
+        GLOBAL,
+        &seed,
+        GaugeStart::Disordered(0.25),
+    );
+    let links = AsqtadLinks::compute(&thin, GLOBAL, &AsqtadCoeffs::default());
+    let op = StaggeredOp::new(links.fat.clone(), links.long.clone(), 0.2).unwrap();
+    let mut se = op.alloc(Parity::Even);
+    let mut so = op.alloc(Parity::Odd);
+    let subc = gsub.clone();
+    let s2 = seed.clone();
+    se.fill(|idx| staggered_source(&s2, subc.cb_coords(Parity::Even, idx)));
+    let subc = gsub.clone();
+    so.fill(|idx| staggered_source(&seed, subc.cb_coords(Parity::Odd, idx)));
+    let mut comm = SingleComm::new(GLOBAL).unwrap();
+    let mut oe = op.alloc(Parity::Even);
+    let mut oo = op.alloc(Parity::Odd);
+    op.apply_full(&mut oe, &mut oo, &mut se, &mut so, &mut comm, BoundaryMode::Full).unwrap();
+    let mut flat = vec![Complex::<f64>::zero(); GLOBAL.volume() * 3];
+    for p in Parity::BOTH {
+        let f = if p == Parity::Even { &oe } else { &oo };
+        for (idx, c) in gsub.sites(p) {
+            let s = f.site(idx);
+            let base = GLOBAL.index(c) * 3;
+            for col in 0..3 {
+                flat[base + col] = s.c[col];
+            }
+        }
+    }
+    let flat = Arc::new(flat);
+    let links = Arc::new(links);
+
+    // Distributed runs: ZT, YZT, XYZT (and T-only with thin local T).
+    for shape in [Dims([1, 1, 1, 2]), Dims([1, 1, 2, 2]), Dims([1, 2, 2, 2]), Dims([2, 2, 2, 2])]
+    {
+        let grid = ProcessGrid::new(shape, GLOBAL).unwrap();
+        let grid2 = grid.clone();
+        let flat2 = flat.clone();
+        let links2 = links.clone();
+        let seed2 = seed.clone();
+        let max_err = run_on_grid(grid, move |mut comm| {
+            let sub = Arc::new(SubLattice::for_rank(&grid2, comm.rank()));
+            let faces = FaceGeometry::new(&sub, STAGGERED_DEPTH).unwrap();
+            // Fat/long links restricted from the precomputed global pair
+            // (body + gauge ghosts, no comm), as production does.
+            let fat =
+                GaugeField::restrict_from_global(&links2.fat, sub.clone(), &faces, GLOBAL);
+            let long =
+                GaugeField::restrict_from_global(&links2.long, sub.clone(), &faces, GLOBAL);
+            let op = StaggeredOp::new(fat, long, 0.2).unwrap();
+            let mut se = op.alloc(Parity::Even);
+            let mut so = op.alloc(Parity::Odd);
+            let subc = sub.clone();
+            let sd = seed2.clone();
+            se.fill(|idx| {
+                let c = subc.cb_coords(Parity::Even, idx);
+                let mut gc = c;
+                for d in 0..4 {
+                    gc[d] = c[d] + subc.origin[d];
+                }
+                staggered_source(&sd, gc)
+            });
+            let subc = sub.clone();
+            let sd = seed2.clone();
+            so.fill(|idx| {
+                let c = subc.cb_coords(Parity::Odd, idx);
+                let mut gc = c;
+                for d in 0..4 {
+                    gc[d] = c[d] + subc.origin[d];
+                }
+                staggered_source(&sd, gc)
+            });
+            let mut oe = op.alloc(Parity::Even);
+            let mut oo = op.alloc(Parity::Odd);
+            op.apply_full(&mut oe, &mut oo, &mut se, &mut so, &mut comm, BoundaryMode::Full)
+                .unwrap();
+            let mut max_err = 0.0f64;
+            for p in Parity::BOTH {
+                let f = if p == Parity::Even { &oe } else { &oo };
+                for (idx, c) in sub.sites(p) {
+                    let mut gc = c;
+                    for d in 0..4 {
+                        gc[d] = c[d] + sub.origin[d];
+                    }
+                    let base = GLOBAL.index(gc) * 3;
+                    let s = f.site(idx);
+                    for col in 0..3 {
+                        max_err = max_err.max((s.c[col] - flat2[base + col]).abs());
+                    }
+                }
+            }
+            max_err
+        });
+        let worst = max_err.iter().cloned().fold(0.0, f64::max);
+        assert!(worst < 1e-11, "scheme {shape:?}: max deviation {worst}");
+    }
+}
+
+#[test]
+fn dirichlet_mode_is_block_diagonal() {
+    // A source supported on one rank must produce output supported on the
+    // same rank only, when boundaries are Dirichlet.
+    let grid = ProcessGrid::new(Dims([1, 1, 2, 2]), GLOBAL).unwrap();
+    let grid2 = grid.clone();
+    let sums = run_on_grid(grid, move |mut comm| {
+        let seed = SeedTree::new(SEED + 2);
+        let sub = Arc::new(SubLattice::for_rank(&grid2, comm.rank()));
+        let faces = FaceGeometry::new(&sub, WILSON_DEPTH).unwrap();
+        let mut gauge = GaugeField::<f64>::generate(
+            sub.clone(),
+            &faces,
+            GLOBAL,
+            &seed,
+            GaugeStart::Disordered(0.3),
+        );
+        gauge.exchange_ghosts(&mut comm, &faces).unwrap();
+        let op = WilsonCloverOp::new(gauge, None, 0.1).unwrap();
+        // Source nonzero only on rank 0.
+        let mut so = op.alloc(Parity::Odd);
+        if comm.rank() == 0 {
+            let t = SeedTree::new(77);
+            let mut rng = t.rng();
+            so.fill(|_| WilsonSpinor::random(&mut rng));
+        }
+        let mut out = op.alloc(Parity::Even);
+        op.dslash(&mut out, &mut so, &mut comm, BoundaryMode::Dirichlet).unwrap();
+        lqcd_field::blas::norm2_local(&out)
+    });
+    assert!(sums[0] > 1.0, "rank 0 should have signal");
+    for (rank, &s) in sums.iter().enumerate().skip(1) {
+        assert_eq!(s, 0.0, "rank {rank} leaked across a Dirichlet boundary");
+    }
+}
+
+#[test]
+fn ghost_double_count_guard_on_thin_ranks() {
+    // Local extent 4 with depth-3 ghosts: low/high faces overlap; the
+    // exterior kernel must not double-apply ghost hops. Compare a 2-rank
+    // staggered dslash against serial.
+    let global = Dims([4, 4, 4, 8]);
+    let seed = SeedTree::new(31);
+    let gsub = Arc::new(SubLattice::single(global).unwrap());
+    let gfaces = FaceGeometry::new(&gsub, STAGGERED_DEPTH).unwrap();
+    let thin = GaugeField::<f64>::generate(
+        gsub.clone(),
+        &gfaces,
+        global,
+        &seed,
+        GaugeStart::Disordered(0.2),
+    );
+    let links = Arc::new(AsqtadLinks::compute(&thin, global, &AsqtadCoeffs::default()));
+    let op = StaggeredOp::new(links.fat.clone(), links.long.clone(), 0.1).unwrap();
+    let mut so = op.alloc(Parity::Odd);
+    let subc = gsub.clone();
+    let sd = seed.clone();
+    so.fill(|idx| {
+        let c = subc.cb_coords(Parity::Odd, idx);
+        ColorVector::random(&mut sd.child("src").stream(global.index(c) as u64))
+    });
+    let mut comm = SingleComm::new(global).unwrap();
+    let mut serial_out = op.alloc(Parity::Even);
+    op.dslash(&mut serial_out, &mut so, &mut comm, BoundaryMode::Full).unwrap();
+    let mut flat = vec![Complex::<f64>::zero(); global.volume() * 3];
+    for (idx, c) in gsub.sites(Parity::Even) {
+        let s = serial_out.site(idx);
+        for col in 0..3 {
+            flat[global.index(c) * 3 + col] = s.c[col];
+        }
+    }
+    let flat = Arc::new(flat);
+
+    // Partition Z into 2 ranks of local extent... Z = 4 < 2·3.
+    let grid = ProcessGrid::new(Dims([1, 1, 1, 2]), global).unwrap();
+    let grid2 = grid.clone();
+    let links2 = links.clone();
+    let seed2 = seed.clone();
+    let flat2 = flat.clone();
+    let errs = run_on_grid(grid, move |mut comm| {
+        let sub = Arc::new(SubLattice::for_rank(&grid2, comm.rank()));
+        let faces = FaceGeometry::new(&sub, STAGGERED_DEPTH).unwrap();
+        let fat = GaugeField::restrict_from_global(&links2.fat, sub.clone(), &faces, global);
+        let long = GaugeField::restrict_from_global(&links2.long, sub.clone(), &faces, global);
+        let op = StaggeredOp::new(fat, long, 0.1).unwrap();
+        let mut so = op.alloc(Parity::Odd);
+        let subc = sub.clone();
+        let sd = seed2.clone();
+        so.fill(|idx| {
+            let c = subc.cb_coords(Parity::Odd, idx);
+            let mut gc = c;
+            for d in 0..4 {
+                gc[d] = c[d] + subc.origin[d];
+            }
+            ColorVector::random(&mut sd.child("src").stream(global.index(gc) as u64))
+        });
+        let mut out = op.alloc(Parity::Even);
+        op.dslash(&mut out, &mut so, &mut comm, BoundaryMode::Full).unwrap();
+        let mut max_err = 0.0f64;
+        for (idx, c) in sub.sites(Parity::Even) {
+            let mut gc = c;
+            for d in 0..4 {
+                gc[d] = c[d] + sub.origin[d];
+            }
+            let s = out.site(idx);
+            for col in 0..3 {
+                max_err = max_err.max((s.c[col] - flat2[global.index(gc) * 3 + col]).abs());
+            }
+        }
+        max_err
+    });
+    let worst = errs.iter().cloned().fold(0.0, f64::max);
+    assert!(worst < 1e-12, "thin-rank double count: deviation {worst}");
+}

@@ -1,0 +1,300 @@
+//! BLAS-1 kernels over field bodies.
+//!
+//! These are the "BLAS-like routines" of paper §6.1, striding over the
+//! body of the allocation only. All reductions accumulate in `f64`
+//! regardless of storage precision — the solvers' convergence logic relies
+//! on accurate inner products even when fields are single or half
+//! precision (QUDA likewise reduces in double).
+//!
+//! Reductions return the *local* (per-rank) partial; distributed callers
+//! combine partials with an allreduce through `lqcd-comms`.
+
+use crate::field::LatticeField;
+use crate::site::SiteObject;
+use lqcd_util::{Complex, Real};
+
+/// `y = 0`.
+pub fn zero<R: Real, S: SiteObject<R>>(y: &mut LatticeField<R, S>) {
+    for v in y.body_mut() {
+        *v = R::ZERO;
+    }
+}
+
+/// `y = x`.
+pub fn copy<R: Real, S: SiteObject<R>>(y: &mut LatticeField<R, S>, x: &LatticeField<R, S>) {
+    y.check_compatible(x).expect("copy: incompatible fields");
+    y.body_mut().copy_from_slice(x.body());
+}
+
+/// `y *= a`.
+pub fn scale<R: Real, S: SiteObject<R>>(y: &mut LatticeField<R, S>, a: R) {
+    for v in y.body_mut() {
+        *v *= a;
+    }
+}
+
+/// `y += a·x` (real coefficient).
+pub fn axpy<R: Real, S: SiteObject<R>>(a: R, x: &LatticeField<R, S>, y: &mut LatticeField<R, S>) {
+    y.check_compatible(x).expect("axpy: incompatible fields");
+    for (yv, xv) in y.body_mut().iter_mut().zip(x.body()) {
+        *yv += a * *xv;
+    }
+}
+
+/// `y = x + a·y`.
+pub fn xpay<R: Real, S: SiteObject<R>>(x: &LatticeField<R, S>, a: R, y: &mut LatticeField<R, S>) {
+    y.check_compatible(x).expect("xpay: incompatible fields");
+    for (yv, xv) in y.body_mut().iter_mut().zip(x.body()) {
+        *yv = *xv + a * *yv;
+    }
+}
+
+/// `y = a·x + b·y`.
+pub fn axpby<R: Real, S: SiteObject<R>>(
+    a: R,
+    x: &LatticeField<R, S>,
+    b: R,
+    y: &mut LatticeField<R, S>,
+) {
+    y.check_compatible(x).expect("axpby: incompatible fields");
+    for (yv, xv) in y.body_mut().iter_mut().zip(x.body()) {
+        *yv = a * *xv + b * *yv;
+    }
+}
+
+/// `y += a·x` with a complex coefficient (fields are interleaved re/im, so
+/// sites are processed as complex pairs).
+pub fn caxpy<R: Real, S: SiteObject<R>>(
+    a: Complex<R>,
+    x: &LatticeField<R, S>,
+    y: &mut LatticeField<R, S>,
+) {
+    y.check_compatible(x).expect("caxpy: incompatible fields");
+    let yb = y.body_mut();
+    let xb = x.body();
+    for k in (0..xb.len()).step_by(2) {
+        let xr = xb[k];
+        let xi = xb[k + 1];
+        yb[k] += a.re * xr - a.im * xi;
+        yb[k + 1] += a.re * xi + a.im * xr;
+    }
+}
+
+/// `y = x + a·y` with complex `a`.
+pub fn cxpay<R: Real, S: SiteObject<R>>(
+    x: &LatticeField<R, S>,
+    a: Complex<R>,
+    y: &mut LatticeField<R, S>,
+) {
+    y.check_compatible(x).expect("cxpay: incompatible fields");
+    let yb = y.body_mut();
+    let xb = x.body();
+    for k in (0..xb.len()).step_by(2) {
+        let yr = yb[k];
+        let yi = yb[k + 1];
+        yb[k] = xb[k] + a.re * yr - a.im * yi;
+        yb[k + 1] = xb[k + 1] + a.re * yi + a.im * yr;
+    }
+}
+
+/// Local partial of `⟨x, y⟩` (conjugate-linear in `x`), accumulated in
+/// `f64`.
+pub fn cdot_local<R: Real, S: SiteObject<R>>(
+    x: &LatticeField<R, S>,
+    y: &LatticeField<R, S>,
+) -> Complex<f64> {
+    x.check_compatible(y).expect("cdot: incompatible fields");
+    let xb = x.body();
+    let yb = y.body();
+    let mut re = 0.0f64;
+    let mut im = 0.0f64;
+    for k in (0..xb.len()).step_by(2) {
+        let xr = xb[k].to_f64();
+        let xi = xb[k + 1].to_f64();
+        let yr = yb[k].to_f64();
+        let yi = yb[k + 1].to_f64();
+        re += xr * yr + xi * yi;
+        im += xr * yi - xi * yr;
+    }
+    Complex::new(re, im)
+}
+
+/// Local partial of `‖x‖²`, accumulated in `f64`.
+pub fn norm2_local<R: Real, S: SiteObject<R>>(x: &LatticeField<R, S>) -> f64 {
+    x.body().iter().map(|v| v.to_f64() * v.to_f64()).sum()
+}
+
+/// Local partial of `‖x − y‖²` without forming the difference.
+pub fn diff_norm2_local<R: Real, S: SiteObject<R>>(
+    x: &LatticeField<R, S>,
+    y: &LatticeField<R, S>,
+) -> f64 {
+    x.check_compatible(y).expect("diff_norm2: incompatible fields");
+    x.body()
+        .iter()
+        .zip(y.body())
+        .map(|(a, b)| {
+            let d = a.to_f64() - b.to_f64();
+            d * d
+        })
+        .sum()
+}
+
+/// Maximum absolute component difference (debug/verification aid).
+pub fn max_abs_diff<R: Real, S: SiteObject<R>>(
+    x: &LatticeField<R, S>,
+    y: &LatticeField<R, S>,
+) -> f64 {
+    x.body()
+        .iter()
+        .zip(y.body())
+        .map(|(a, b)| (a.to_f64() - b.to_f64()).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Fused multi-shift CG update: `z = x + b·z; x += a·p` is *not* what we
+/// need — the shifted-system update is `x_σ += a_σ·p_σ; p_σ = z + b_σ·p_σ`
+/// per shift. This fuses the per-shift vector update to one pass.
+pub fn shift_update<R: Real, S: SiteObject<R>>(
+    a: R,
+    b: R,
+    z: &LatticeField<R, S>,
+    x: &mut LatticeField<R, S>,
+    p: &mut LatticeField<R, S>,
+) {
+    x.check_compatible(z).expect("shift_update: incompatible fields");
+    p.check_compatible(z).expect("shift_update: incompatible fields");
+    let xb = x.body_mut();
+    let pb = p.body_mut();
+    let zb = z.body();
+    for k in 0..zb.len() {
+        xb[k] += a * pb[k];
+        pb[k] = zb[k] + b * pb[k];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lqcd_lattice::{Dims, FaceGeometry, Parity, SubLattice};
+    use lqcd_su3::ColorVector;
+    use lqcd_util::rng::SeedTree;
+    use std::sync::Arc;
+
+    type F = LatticeField<f64, ColorVector<f64>>;
+
+    fn rand_field(seed: u64) -> F {
+        let sub = Arc::new(SubLattice::single(Dims([4, 4, 4, 4])).unwrap());
+        let faces = FaceGeometry::new(&sub, 1).unwrap();
+        let mut f = F::zeros(sub, &faces, Parity::Even, 2);
+        let t = SeedTree::new(seed);
+        let mut rng = t.rng();
+        f.fill(|_| ColorVector::random(&mut rng));
+        f
+    }
+
+    #[test]
+    fn axpy_family_consistency() {
+        let x = rand_field(1);
+        let mut y1 = rand_field(2);
+        let mut y2 = y1.clone();
+        // xpay(x, a, y) == y_new = x + a*y
+        xpay(&x, 0.5, &mut y1);
+        // Same through axpby.
+        axpby(1.0, &x, 0.5, &mut y2);
+        assert!(max_abs_diff(&y1, &y2) < 1e-15);
+    }
+
+    #[test]
+    fn caxpy_matches_complex_sitewise() {
+        let x = rand_field(3);
+        let mut y = rand_field(4);
+        let yref = y.clone();
+        let a = Complex::new(0.3, -0.8);
+        caxpy(a, &x, &mut y);
+        for idx in 0..x.num_sites() {
+            let want = yref.site(idx).add(&x.site(idx).scale_c(a));
+            assert!(y.site(idx).sub(&want).norm_sqr() < 1e-24);
+        }
+    }
+
+    #[test]
+    fn cxpay_matches_definition() {
+        let x = rand_field(5);
+        let mut y = rand_field(6);
+        let yref = y.clone();
+        let a = Complex::new(-1.1, 0.4);
+        cxpay(&x, a, &mut y);
+        for idx in 0..x.num_sites() {
+            let want = x.site(idx).add(&yref.site(idx).scale_c(a));
+            assert!(y.site(idx).sub(&want).norm_sqr() < 1e-24);
+        }
+    }
+
+    #[test]
+    fn dot_and_norm_agree() {
+        let x = rand_field(7);
+        let d = cdot_local(&x, &x);
+        assert!((d.re - norm2_local(&x)).abs() < 1e-9);
+        assert!(d.im.abs() < 1e-9);
+        let y = rand_field(8);
+        // ⟨x,y⟩ = conj(⟨y,x⟩)
+        let xy = cdot_local(&x, &y);
+        let yx = cdot_local(&y, &x);
+        assert!((xy - yx.conj()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diff_norm2_matches_manual() {
+        let x = rand_field(9);
+        let mut y = x.clone();
+        scale(&mut y, 0.9);
+        let mut z = x.clone();
+        axpy(-1.0, &y, &mut z); // z = x - y
+        assert!((diff_norm2_local(&x, &y) - norm2_local(&z)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shift_update_fused_matches_unfused() {
+        let z = rand_field(10);
+        let mut x1 = rand_field(11);
+        let mut p1 = rand_field(12);
+        let mut x2 = x1.clone();
+        let mut p2 = p1.clone();
+        let (a, b) = (0.7, -0.2);
+        shift_update(a, b, &z, &mut x1, &mut p1);
+        // Unfused: x += a p; p = z + b p.
+        axpy(a, &p2, &mut x2);
+        xpay(&z, b, &mut p2);
+        assert!(max_abs_diff(&x1, &x2) < 1e-15);
+        assert!(max_abs_diff(&p1, &p2) < 1e-15);
+    }
+
+    #[test]
+    fn zero_and_copy() {
+        let x = rand_field(13);
+        let mut y = rand_field(14);
+        copy(&mut y, &x);
+        assert!(max_abs_diff(&x, &y) == 0.0);
+        zero(&mut y);
+        assert_eq!(norm2_local(&y), 0.0);
+    }
+
+    #[test]
+    fn reductions_accumulate_in_f64_for_f32_fields() {
+        // A sum that would lose precision in f32 accumulation.
+        let sub = Arc::new(SubLattice::single(Dims([8, 8, 8, 8])).unwrap());
+        let faces = FaceGeometry::new(&sub, 1).unwrap();
+        let mut f: LatticeField<f32, ColorVector<f32>> =
+            LatticeField::zeros(sub, &faces, Parity::Even, 0);
+        f.fill(|_| {
+            ColorVector::from_fn(|_| Complex::new(1.0f32 + 1e-4, 0.0))
+        });
+        let n = f.num_sites() as f64 * 3.0;
+        let want = n * (1.0 + 1e-4f64 as f64).powi(2);
+        // f32 accumulation would drift by far more than this bound.
+        let got = norm2_local(&f);
+        let per_term = (1.0f32 + 1e-4).to_f64() * (1.0f32 + 1e-4).to_f64();
+        assert!((got - n * per_term).abs() < 1e-6, "got {got}, want ≈ {want}");
+    }
+}

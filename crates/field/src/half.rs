@@ -1,0 +1,184 @@
+//! Whole-field 16-bit fixed-point storage.
+//!
+//! The paper's mixed-precision solvers keep the Krylov space and the
+//! preconditioner fields in "half" precision (§8.1: "the Krylov space is
+//! built up in low precision"). On the GPU that is a storage format:
+//! values live as 16-bit fixed point in memory and are expanded to `f32`
+//! in registers. We reproduce the same semantics: [`HalfField`] is the
+//! storage form (one `f32` norm + `REALS` 16-bit mantissas per site);
+//! computation happens on a decoded `f32` [`LatticeField`], and every
+//! store back through [`HalfField::encode_from`] re-quantizes — which is
+//! exactly where half precision loses information on the GPU too.
+
+use crate::field::LatticeField;
+use crate::site::SiteObject;
+use lqcd_util::half::{decode_block, encode_block};
+use lqcd_util::Fixed16;
+use std::marker::PhantomData;
+
+/// A body-only field stored in per-site-normalized 16-bit fixed point.
+#[derive(Clone, Debug)]
+pub struct HalfField<S> {
+    mantissas: Vec<Fixed16>,
+    norms: Vec<f32>,
+    sites: usize,
+    reals_per_site: usize,
+    _site: PhantomData<S>,
+}
+
+impl<S: SiteObject<f32>> HalfField<S> {
+    /// Encode the body of an `f32` field.
+    pub fn encode(src: &LatticeField<f32, S>) -> Self {
+        let sites = src.num_sites();
+        let mut h = Self {
+            mantissas: vec![Fixed16(0); sites * S::REALS],
+            norms: vec![0.0; sites],
+            sites,
+            reals_per_site: S::REALS,
+            _site: PhantomData,
+        };
+        h.encode_from(src);
+        h
+    }
+
+    /// Re-encode from an `f32` field into this existing storage.
+    pub fn encode_from(&mut self, src: &LatticeField<f32, S>) {
+        assert_eq!(src.num_sites(), self.sites, "site count mismatch");
+        let body = src.body();
+        for i in 0..self.sites {
+            let block = &body[i * S::REALS..(i + 1) * S::REALS];
+            self.norms[i] =
+                encode_block(block, &mut self.mantissas[i * S::REALS..(i + 1) * S::REALS]);
+        }
+    }
+
+    /// Decode into an existing `f32` field's body (ghosts untouched).
+    pub fn decode_into(&self, dst: &mut LatticeField<f32, S>) {
+        assert_eq!(dst.num_sites(), self.sites, "site count mismatch");
+        let body = dst.body_mut();
+        for i in 0..self.sites {
+            decode_block(
+                &self.mantissas[i * S::REALS..(i + 1) * S::REALS],
+                self.norms[i],
+                &mut body[i * S::REALS..(i + 1) * S::REALS],
+            );
+        }
+    }
+
+    /// Number of body sites.
+    pub fn num_sites(&self) -> usize {
+        self.sites
+    }
+
+    /// Bytes this field occupies (2 per mantissa + 4 per site norm) —
+    /// used by the performance model to price half-precision traffic.
+    pub fn storage_bytes(&self) -> usize {
+        self.mantissas.len() * 2 + self.norms.len() * 4
+    }
+
+    /// Number of reals per site (mirror of `S::REALS`).
+    pub fn reals_per_site(&self) -> usize {
+        self.reals_per_site
+    }
+}
+
+/// Precision-dispatched in-place quantization: a no-op at double
+/// precision, a 16-bit fixed-point round trip at single.
+///
+/// This is how the mixed-precision solvers express "this vector is
+/// *stored* in half precision": every store boundary passes through
+/// [`quantize_in_place`], reproducing exactly the information loss the
+/// GPU's half-precision fields suffer.
+pub trait Quantize<R: lqcd_util::Real>: SiteObject<R> {
+    /// Quantize the body of `field` in place (ghosts untouched).
+    fn quantize_in_place(field: &mut LatticeField<R, Self>)
+    where
+        Self: Sized;
+}
+
+impl<S: SiteObject<f64>> Quantize<f64> for S {
+    fn quantize_in_place(_field: &mut LatticeField<f64, Self>) {}
+}
+
+impl<S: SiteObject<f32>> Quantize<f32> for S {
+    fn quantize_in_place(field: &mut LatticeField<f32, Self>) {
+        let body = field.body_mut();
+        let mut mant = vec![Fixed16(0); S::REALS];
+        for i in 0..body.len() / S::REALS {
+            let block = &mut body[i * S::REALS..(i + 1) * S::REALS];
+            let norm = encode_block(block, &mut mant);
+            decode_block(&mant, norm, block);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas;
+    use lqcd_lattice::{Dims, FaceGeometry, Parity, SubLattice};
+    use lqcd_su3::WilsonSpinor;
+    use lqcd_util::rng::SeedTree;
+    use std::sync::Arc;
+
+    type F32 = LatticeField<f32, WilsonSpinor<f32>>;
+
+    fn rand_field(seed: u64) -> F32 {
+        let sub = Arc::new(SubLattice::single(Dims([4, 4, 4, 4])).unwrap());
+        let faces = FaceGeometry::new(&sub, 1).unwrap();
+        let mut f = F32::zeros(sub, &faces, Parity::Even, 0);
+        let t = SeedTree::new(seed);
+        let mut rng = t.rng();
+        f.fill(|_| WilsonSpinor::random(&mut rng));
+        f
+    }
+
+    #[test]
+    fn roundtrip_error_is_half_precision_sized() {
+        let f = rand_field(1);
+        let h = HalfField::encode(&f);
+        let mut back = F32::zeros_like(&f);
+        h.decode_into(&mut back);
+        // Relative error per site bounded by ~2^-15 of the site norm.
+        let rel = blas::diff_norm2_local(&f, &back).sqrt() / blas::norm2_local(&f).sqrt();
+        assert!(rel < 1e-4, "relative error {rel} too large for 16-bit storage");
+        assert!(rel > 1e-7, "relative error {rel} suspiciously small — not quantizing?");
+    }
+
+    #[test]
+    fn encode_is_idempotent_after_one_quantization() {
+        // decode(encode(x)) is a fixed point of encode∘decode.
+        let f = rand_field(2);
+        let h = HalfField::encode(&f);
+        let mut once = F32::zeros_like(&f);
+        h.decode_into(&mut once);
+        let h2 = HalfField::encode(&once);
+        let mut twice = F32::zeros_like(&f);
+        h2.decode_into(&mut twice);
+        let drift = blas::max_abs_diff(&once, &twice);
+        // One extra round trip may wiggle by a quantization step at most.
+        assert!(drift < 1e-3, "drift {drift}");
+    }
+
+    #[test]
+    fn storage_is_half_of_f32() {
+        let f = rand_field(3);
+        let h = HalfField::encode(&f);
+        let f32_bytes = f.num_sites() * 24 * 4;
+        // 2 bytes per real + 4-byte norm per site.
+        assert_eq!(h.storage_bytes(), f.num_sites() * 24 * 2 + f.num_sites() * 4);
+        assert!(h.storage_bytes() < f32_bytes * 6 / 10);
+        assert_eq!(h.reals_per_site(), 24);
+    }
+
+    #[test]
+    fn zero_field_encodes_to_zero() {
+        let sub = Arc::new(SubLattice::single(Dims([2, 2, 2, 2])).unwrap());
+        let faces = FaceGeometry::new(&sub, 1).unwrap();
+        let z = F32::zeros(sub, &faces, Parity::Even, 0);
+        let h = HalfField::encode(&z);
+        let mut back = F32::zeros_like(&z);
+        h.decode_into(&mut back);
+        assert_eq!(blas::norm2_local(&back), 0.0);
+    }
+}

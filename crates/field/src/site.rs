@@ -1,0 +1,134 @@
+//! The bridge between typed per-site objects and flat real storage.
+
+use lqcd_su3::{CloverSite, ColorVector, Su3, WilsonSpinor};
+use lqcd_util::{Complex, Real};
+
+/// A per-site object with a fixed flat real-number encoding.
+///
+/// Implementations must write exactly [`SiteObject::REALS`] values and read
+/// them back losslessly; round-trip identity is property-tested below.
+pub trait SiteObject<R: Real>: Copy + Send + Sync {
+    /// Number of reals per site.
+    const REALS: usize;
+    /// The all-zero object.
+    fn zero_site() -> Self;
+    /// Serialize into `out` (`out.len() == REALS`).
+    fn write(&self, out: &mut [R]);
+    /// Deserialize from `src` (`src.len() == REALS`).
+    fn read(src: &[R]) -> Self;
+}
+
+impl<R: Real> SiteObject<R> for ColorVector<R> {
+    const REALS: usize = 6;
+
+    fn zero_site() -> Self {
+        ColorVector::zero()
+    }
+
+    #[inline(always)]
+    fn write(&self, out: &mut [R]) {
+        for (k, e) in self.c.iter().enumerate() {
+            out[2 * k] = e.re;
+            out[2 * k + 1] = e.im;
+        }
+    }
+
+    #[inline(always)]
+    fn read(src: &[R]) -> Self {
+        ColorVector::from_fn(|k| Complex::new(src[2 * k], src[2 * k + 1]))
+    }
+}
+
+impl<R: Real> SiteObject<R> for WilsonSpinor<R> {
+    const REALS: usize = 24;
+
+    fn zero_site() -> Self {
+        WilsonSpinor::zero()
+    }
+
+    #[inline(always)]
+    fn write(&self, out: &mut [R]) {
+        for (sp, v) in self.s.iter().enumerate() {
+            v.write(&mut out[6 * sp..6 * (sp + 1)]);
+        }
+    }
+
+    #[inline(always)]
+    fn read(src: &[R]) -> Self {
+        WilsonSpinor::from_fn(|sp| ColorVector::read(&src[6 * sp..6 * (sp + 1)]))
+    }
+}
+
+impl<R: Real> SiteObject<R> for Su3<R> {
+    const REALS: usize = 18;
+
+    fn zero_site() -> Self {
+        Su3::zero()
+    }
+
+    #[inline(always)]
+    fn write(&self, out: &mut [R]) {
+        out.copy_from_slice(&self.to_reals());
+    }
+
+    #[inline(always)]
+    fn read(src: &[R]) -> Self {
+        let mut buf = [R::ZERO; 18];
+        buf.copy_from_slice(src);
+        Su3::from_reals(&buf)
+    }
+}
+
+impl<R: Real> SiteObject<R> for CloverSite<R> {
+    const REALS: usize = 72;
+
+    fn zero_site() -> Self {
+        CloverSite::default()
+    }
+
+    #[inline(always)]
+    fn write(&self, out: &mut [R]) {
+        out.copy_from_slice(&self.to_reals());
+    }
+
+    #[inline(always)]
+    fn read(src: &[R]) -> Self {
+        let mut buf = [R::ZERO; 72];
+        buf.copy_from_slice(src);
+        CloverSite::from_reals(&buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lqcd_util::rng::SeedTree;
+
+    fn roundtrip<R: Real, S: SiteObject<R> + PartialEq + std::fmt::Debug>(s: S) {
+        let mut buf = vec![R::ZERO; S::REALS];
+        s.write(&mut buf);
+        assert_eq!(S::read(&buf), s);
+    }
+
+    #[test]
+    fn all_site_objects_roundtrip() {
+        let t = SeedTree::new(1);
+        let mut rng = t.rng();
+        roundtrip::<f64, _>(ColorVector::random(&mut rng));
+        roundtrip::<f64, _>(WilsonSpinor::random(&mut rng));
+        roundtrip::<f64, _>(Su3::random(&mut rng));
+        roundtrip::<f64, _>(CloverSite::random_spd(&mut rng));
+        roundtrip::<f32, _>(ColorVector::<f32>::random(&mut rng));
+        roundtrip::<f32, _>(WilsonSpinor::<f32>::random(&mut rng));
+    }
+
+    #[test]
+    fn real_counts_match_paper() {
+        // Fig. 2: staggered spinor = 6 floats, Wilson spinor = 24 floats;
+        // Fig. 3: gauge link = 18 floats; footnote 1: clover = 72 reals.
+        assert_eq!(<ColorVector<f64> as SiteObject<f64>>::REALS, 6);
+        assert_eq!(<WilsonSpinor<f64> as SiteObject<f64>>::REALS, 24);
+        assert_eq!(<Su3<f64> as SiteObject<f64>>::REALS, 18);
+        assert_eq!(<CloverSite<f64> as SiteObject<f64>>::REALS, 72);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests of the BLAS-1 layer: vector-space axioms over
+//! randomized fields and coefficients, at both working precisions.
+
+use lqcd_field::{blas, LatticeField};
+use lqcd_lattice::{Dims, FaceGeometry, Parity, SubLattice};
+use lqcd_su3::{ColorVector, WilsonSpinor};
+use lqcd_util::rng::SeedTree;
+use lqcd_util::Complex;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+type F64 = LatticeField<f64, WilsonSpinor<f64>>;
+type F32 = LatticeField<f32, ColorVector<f32>>;
+
+fn field64(seed: u64) -> F64 {
+    let sub = Arc::new(SubLattice::single(Dims([4, 4, 2, 2])).unwrap());
+    let faces = FaceGeometry::new(&sub, 1).unwrap();
+    let mut f = F64::zeros(sub, &faces, Parity::Even, 1);
+    let t = SeedTree::new(seed);
+    let mut rng = t.rng();
+    f.fill(|_| WilsonSpinor::random(&mut rng));
+    f
+}
+
+fn field32(seed: u64) -> F32 {
+    let sub = Arc::new(SubLattice::single(Dims([4, 4, 2, 2])).unwrap());
+    let faces = FaceGeometry::new(&sub, 1).unwrap();
+    let mut f = F32::zeros(sub, &faces, Parity::Even, 0);
+    let t = SeedTree::new(seed);
+    let mut rng = t.rng();
+    f.fill(|_| ColorVector::random(&mut rng));
+    f
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn axpy_is_linear_in_coefficient(seed in 0u64..1000, a in -3.0f64..3.0, b in -3.0f64..3.0) {
+        let x = field64(seed);
+        let y0 = field64(seed + 1);
+        // (a+b)·x + y == a·x + (b·x + y)
+        let mut lhs = y0.clone();
+        blas::axpy(a + b, &x, &mut lhs);
+        let mut rhs = y0.clone();
+        blas::axpy(b, &x, &mut rhs);
+        blas::axpy(a, &x, &mut rhs);
+        prop_assert!(blas::max_abs_diff(&lhs, &rhs) < 1e-12);
+    }
+
+    #[test]
+    fn dot_is_conjugate_symmetric_and_positive(seed in 0u64..1000) {
+        let x = field64(seed);
+        let y = field64(seed + 7);
+        let xy = blas::cdot_local(&x, &y);
+        let yx = blas::cdot_local(&y, &x);
+        prop_assert!((xy - yx.conj()).abs() < 1e-9 * (1.0 + xy.abs()));
+        let xx = blas::cdot_local(&x, &x);
+        prop_assert!(xx.re >= 0.0 && xx.im.abs() < 1e-9 * (1.0 + xx.re));
+        prop_assert!((xx.re - blas::norm2_local(&x)).abs() < 1e-9 * (1.0 + xx.re));
+    }
+
+    #[test]
+    fn cauchy_schwarz(seed in 0u64..1000) {
+        let x = field64(seed);
+        let y = field64(seed + 13);
+        let dot = blas::cdot_local(&x, &y).abs();
+        let bound = (blas::norm2_local(&x) * blas::norm2_local(&y)).sqrt();
+        prop_assert!(dot <= bound * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn caxpy_respects_complex_scaling(seed in 0u64..1000, re in -2.0f64..2.0, im in -2.0f64..2.0) {
+        let x = field64(seed);
+        let y0 = field64(seed + 3);
+        let a = Complex::new(re, im);
+        // ⟨w, y + a·x⟩ = ⟨w, y⟩ + a⟨w, x⟩
+        let w = field64(seed + 5);
+        let mut y = y0.clone();
+        blas::caxpy(a, &x, &mut y);
+        let lhs = blas::cdot_local(&w, &y);
+        let rhs = blas::cdot_local(&w, &y0) + blas::cdot_local(&w, &x) * a;
+        prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn triangle_inequality_of_diff_norm(seed in 0u64..1000) {
+        let x = field64(seed);
+        let y = field64(seed + 17);
+        let z = field64(seed + 23);
+        let d = |a: &F64, b: &F64| blas::diff_norm2_local(a, b).sqrt();
+        prop_assert!(d(&x, &z) <= d(&x, &y) + d(&y, &z) + 1e-9);
+        prop_assert!((d(&x, &y) - d(&y, &x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f32_reductions_match_f64_recomputation(seed in 0u64..1000) {
+        // The f64-accumulated reduction over an f32 field equals summing
+        // the widened components directly.
+        let x = field32(seed);
+        let manual: f64 = x.body().iter().map(|&v| (v as f64) * (v as f64)).sum();
+        prop_assert!((blas::norm2_local(&x) - manual).abs() < 1e-9 * (1.0 + manual));
+    }
+
+    #[test]
+    fn scale_and_norm_are_consistent(seed in 0u64..1000, a in -4.0f64..4.0) {
+        let mut x = field64(seed);
+        let n0 = blas::norm2_local(&x);
+        blas::scale(&mut x, a);
+        let n1 = blas::norm2_local(&x);
+        prop_assert!((n1 - a * a * n0).abs() < 1e-9 * (1.0 + n1));
+    }
+}

@@ -1,0 +1,280 @@
+//! Asqtad link improvement: fat links and long (Naik) links.
+//!
+//! The improved staggered operator (paper §2.3) replaces the thin link by
+//! two precomputed fields: the *fat* link `Û_µ(x)` — a weighted sum of the
+//! single link and 3-, 5-, 7-link staples plus the Lepage term — and the
+//! *long* link `Ǔ_µ(x) = c_N · U_µ(x) U_µ(x+µ̂) U_µ(x+2µ̂)` carrying the
+//! Naik coefficient.
+//!
+//! Coefficients are the standard asqtad set (MILC conventions, tadpole
+//! factor u₀ = 1), fixed by three conditions the tests verify on the free
+//! field: the Fat7 kernel sums to 1, the Lepage term's −3/8 is compensated
+//! in the one-link, and the Naik compensation makes the total one-hop
+//! coefficient 9/8 so that `(9/8)·sin(p) − (1/24)·sin(3p) = p + O(p⁵)`.
+
+use crate::field::GaugeField;
+use crate::paths::{path_product, Step};
+use lqcd_lattice::{Dims, Parity, NDIM};
+use lqcd_su3::Su3;
+use lqcd_util::Real;
+
+/// Path coefficients of the asqtad action (per path).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct AsqtadCoeffs {
+    /// Single thin link.
+    pub one_link: f64,
+    /// Each 3-link staple (6 paths per direction).
+    pub three_staple: f64,
+    /// Each 5-link staple (24 paths).
+    pub five_staple: f64,
+    /// Each 7-link staple (48 paths).
+    pub seven_staple: f64,
+    /// Each Lepage (double-staple) path (6 paths).
+    pub lepage: f64,
+    /// The Naik (3-hop) coefficient, folded into the long link.
+    pub naik: f64,
+}
+
+impl Default for AsqtadCoeffs {
+    fn default() -> Self {
+        // one_link = 1/8 (Fat7) + 3/8 (Lepage compensation) + 1/8 (Naik
+        // compensation) = 5/8.
+        AsqtadCoeffs {
+            one_link: 5.0 / 8.0,
+            three_staple: 1.0 / 16.0,
+            five_staple: 1.0 / 64.0,
+            seven_staple: 1.0 / 384.0,
+            lepage: -1.0 / 16.0,
+            naik: -1.0 / 24.0,
+        }
+    }
+}
+
+impl AsqtadCoeffs {
+    /// Free-field (cold-link) value of the fat link: the sum over all
+    /// paths. Must be 9/8 for the default set.
+    pub fn free_field_fat(&self) -> f64 {
+        self.one_link
+            + 6.0 * self.three_staple
+            + 24.0 * self.five_staple
+            + 48.0 * self.seven_staple
+            + 6.0 * self.lepage
+    }
+}
+
+/// The precomputed improved-staggered link pair.
+#[derive(Clone, Debug)]
+pub struct AsqtadLinks<R: Real> {
+    /// Fat links `Û_µ` (not unitary — stored uncompressed, cf. Fig. 6's
+    /// "no gauge reconstruction").
+    pub fat: GaugeField<R>,
+    /// Long links `Ǔ_µ` with the Naik coefficient folded in.
+    pub long: GaugeField<R>,
+}
+
+/// Enumerate the staple paths for direction `mu`.
+#[cfg(test)]
+fn staple_paths(mu: usize) -> Vec<(f64, Vec<Step>)> {
+    let c = AsqtadCoeffs::default();
+    staple_paths_with(mu, &c)
+}
+
+/// Enumerate the staple paths for direction `mu` with explicit
+/// coefficients. Every path starts and ends displaced by +µ̂ overall.
+pub fn staple_paths_with(mu: usize, c: &AsqtadCoeffs) -> Vec<(f64, Vec<Step>)> {
+    let mut out = Vec::new();
+    let trans: Vec<usize> = (0..NDIM).filter(|&d| d != mu).collect();
+    // One-link.
+    out.push((c.one_link, vec![Step(mu, true)]));
+    for (i, &nu) in trans.iter().enumerate() {
+        for &s1 in &[true, false] {
+            // 3-staple: ν, µ, ν̄.
+            out.push((
+                c.three_staple,
+                vec![Step(nu, s1), Step(mu, true), Step(nu, !s1)],
+            ));
+            // Lepage: ν, ν, µ, ν̄, ν̄.
+            out.push((
+                c.lepage,
+                vec![Step(nu, s1), Step(nu, s1), Step(mu, true), Step(nu, !s1), Step(nu, !s1)],
+            ));
+            for (j, &rho) in trans.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                for &s2 in &[true, false] {
+                    // 5-staple: ν, ρ, µ, ρ̄, ν̄.
+                    out.push((
+                        c.five_staple,
+                        vec![
+                            Step(nu, s1),
+                            Step(rho, s2),
+                            Step(mu, true),
+                            Step(rho, !s2),
+                            Step(nu, !s1),
+                        ],
+                    ));
+                    for (k, &sig) in trans.iter().enumerate() {
+                        if k == i || k == j {
+                            continue;
+                        }
+                        for &s3 in &[true, false] {
+                            // 7-staple: ν, ρ, σ, µ, σ̄, ρ̄, ν̄.
+                            out.push((
+                                c.seven_staple,
+                                vec![
+                                    Step(nu, s1),
+                                    Step(rho, s2),
+                                    Step(sig, s3),
+                                    Step(mu, true),
+                                    Step(sig, !s3),
+                                    Step(rho, !s2),
+                                    Step(nu, !s1),
+                                ],
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+impl<R: Real> AsqtadLinks<R> {
+    /// Compute fat and long links from a *global* thin-link field.
+    pub fn compute(thin: &GaugeField<R>, global: Dims, coeffs: &AsqtadCoeffs) -> Self {
+        let sub = thin.sublattice().clone();
+        assert!(
+            sub.partitioned.iter().all(|&x| !x),
+            "asqtad links are precomputed on the global lattice (see crate docs)"
+        );
+        let faces = lqcd_lattice::FaceGeometry::new(&sub, 3).expect("global face geometry");
+        let mut fat = GaugeField::zeros(sub.clone(), &faces, 0);
+        let mut long = GaugeField::zeros(sub.clone(), &faces, 0);
+        for mu in 0..NDIM {
+            let paths = staple_paths_with(mu, coeffs);
+            for p in Parity::BOTH {
+                let updates: Vec<(usize, Su3<R>, Su3<R>)> = sub
+                    .sites(p)
+                    .map(|(idx, x)| {
+                        let mut acc = Su3::zero();
+                        for (w, path) in &paths {
+                            let prod = path_product(thin, global, x, path);
+                            acc = acc.add(&prod.scale(R::from_f64(*w)));
+                        }
+                        let l = path_product(
+                            thin,
+                            global,
+                            x,
+                            &[Step(mu, true), Step(mu, true), Step(mu, true)],
+                        )
+                        .scale(R::from_f64(coeffs.naik));
+                        (idx, acc, l)
+                    })
+                    .collect();
+                for (idx, f, l) in updates {
+                    fat.set_link(mu, p, idx, f);
+                    long.set_link(mu, p, idx, l);
+                }
+            }
+        }
+        Self { fat, long }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::GaugeStart;
+    use lqcd_lattice::{FaceGeometry, SubLattice};
+    use lqcd_util::rng::SeedTree;
+    use std::sync::Arc;
+
+    fn field(global: Dims, start: GaugeStart, seed: u64) -> GaugeField<f64> {
+        let sub = Arc::new(SubLattice::single(global).unwrap());
+        let faces = FaceGeometry::new(&sub, 3).unwrap();
+        GaugeField::generate(sub, &faces, global, &SeedTree::new(seed), start)
+    }
+
+    #[test]
+    fn default_coefficients_satisfy_improvement_conditions() {
+        let c = AsqtadCoeffs::default();
+        // Free-field fat coefficient 9/8.
+        assert!((c.free_field_fat() - 9.0 / 8.0).abs() < 1e-15);
+        // Continuum normalization: c_fat + 3·c_naik = 1.
+        assert!((c.free_field_fat() + 3.0 * c.naik - 1.0).abs() < 1e-15);
+        // O(a²) dispersion: p³ terms cancel: c_fat·(1/6) = −c_naik·(27/6).
+        assert!((c.free_field_fat() / 6.0 + c.naik * 27.0 / 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn path_counts_match_asqtad() {
+        let paths = staple_paths(0);
+        let count = |len: usize| paths.iter().filter(|(_, p)| p.len() == len).count();
+        assert_eq!(count(1), 1, "one-link");
+        assert_eq!(count(3), 6, "3-staples");
+        // Length 5: 24 five-staples + 6 Lepage.
+        assert_eq!(count(5), 30);
+        assert_eq!(count(7), 48, "7-staples");
+    }
+
+    #[test]
+    fn cold_field_fat_and_long_links() {
+        let global = Dims([4, 4, 4, 8]);
+        let thin = field(global, GaugeStart::Cold, 1);
+        let links = AsqtadLinks::compute(&thin, global, &AsqtadCoeffs::default());
+        let want_fat = Su3::identity().scale(9.0 / 8.0);
+        let want_long = Su3::identity().scale(-1.0 / 24.0);
+        for mu in 0..4 {
+            for p in Parity::BOTH {
+                for idx in [0, 5, 17] {
+                    assert!(links.fat.link(mu, p, idx).sub(&want_fat).norm_sqr() < 1e-20);
+                    assert!(links.long.link(mu, p, idx).sub(&want_long).norm_sqr() < 1e-20);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fat_links_are_not_unitary_on_rough_fields() {
+        let global = Dims([4, 4, 4, 4]);
+        let thin = field(global, GaugeStart::Disordered(0.3), 2);
+        let links = AsqtadLinks::compute(&thin, global, &AsqtadCoeffs::default());
+        let u = links.fat.link(0, Parity::Even, 3);
+        assert!(u.unitarity_error() > 1e-3, "smeared links should leave the group");
+    }
+
+    #[test]
+    fn smearing_is_gauge_covariant_under_global_center_phase() {
+        // Multiplying every T-link on a fixed timeslice by a center phase
+        // commutes with smearing of spatial links away from that slice
+        // (weak but cheap covariance check: fat spatial links on distant
+        // slices are unchanged).
+        let global = Dims([4, 4, 4, 8]);
+        let thin = field(global, GaugeStart::Disordered(0.2), 3);
+        let links = AsqtadLinks::compute(&thin, global, &AsqtadCoeffs::default());
+        let mut twisted = thin.clone();
+        let sub = thin.sublattice().clone();
+        for p in Parity::BOTH {
+            for (idx, c) in sub.sites(p) {
+                if c[3] == 0 {
+                    let u = twisted.link(3, p, idx);
+                    twisted.set_link(3, p, idx, u.scale(-1.0));
+                }
+            }
+        }
+        let links_tw = AsqtadLinks::compute(&twisted, global, &AsqtadCoeffs::default());
+        // A spatial fat link at t = 4 involves paths within t ∈ [3, 5]
+        // (staples step at most ±1 in T), so it never touches t = 0 links.
+        for p in Parity::BOTH {
+            for (idx, c) in sub.sites(p) {
+                if c[3] == 4 {
+                    let a = links.fat.link(0, p, idx);
+                    let b = links_tw.fat.link(0, p, idx);
+                    assert!(a.sub(&b).norm_sqr() < 1e-24);
+                }
+            }
+        }
+    }
+}

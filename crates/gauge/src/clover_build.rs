@@ -1,0 +1,268 @@
+//! Clover-leaf field strength and construction of the packed clover term.
+//!
+//! The Wilson-clover operator's site-diagonal term is
+//! `(4 + m + A_x)` with `A_x = c_sw Σ_{µ<ν} σ_µν ⊗ (i F̂_µν(x))`, where
+//! `F̂_µν = (Q_µν − Q†_µν)/8` is the traceless anti-Hermitian clover
+//! average of the four plaquette leaves and `σ_µν = (i/2)[γ_µ, γ_ν]`
+//! (paper §2.2). In our chiral basis σ_µν is block diagonal, so `A_x`
+//! packs into two 6×6 Hermitian blocks — the 72-real [`CloverSite`].
+//!
+//! Like the asqtad links, the clover field is precomputed on the global
+//! lattice (it is site-diagonal, so per-rank restriction is a plain copy).
+
+use crate::field::GaugeField;
+use crate::paths::{path_product, Step};
+use lqcd_lattice::{Dims, FaceGeometry, Parity, SubLattice, NDIM};
+use lqcd_su3::clover::{CloverSite, HermBlock, BLOCK_DIM};
+use lqcd_su3::gamma::GAMMA;
+use lqcd_su3::Su3;
+use lqcd_util::{Complex, Real};
+use lqcd_field::LatticeField;
+use std::sync::Arc;
+
+/// Clover-averaged field strength `F̂_µν(x)`: the four leaves around `x`
+/// in the µ–ν plane, anti-hermitized and traceless-projected.
+pub fn field_strength<R: Real>(
+    g: &GaugeField<R>,
+    global: Dims,
+    x: [usize; NDIM],
+    mu: usize,
+    nu: usize,
+) -> Su3<R> {
+    debug_assert!(mu != nu);
+    let leaves: [[Step; 4]; 4] = [
+        [Step(mu, true), Step(nu, true), Step(mu, false), Step(nu, false)],
+        [Step(nu, true), Step(mu, false), Step(nu, false), Step(mu, true)],
+        [Step(mu, false), Step(nu, false), Step(mu, true), Step(nu, true)],
+        [Step(nu, false), Step(mu, true), Step(nu, true), Step(mu, false)],
+    ];
+    let mut q = Su3::zero();
+    for leaf in &leaves {
+        q = q.add(&path_product(g, global, x, leaf));
+    }
+    // Anti-hermitize and remove the trace.
+    let f = q.sub(&q.adjoint()).scale(R::from_f64(1.0 / 8.0));
+    let tr = f.trace().scale(R::from_f64(1.0 / 3.0));
+    let mut out = f;
+    for i in 0..3 {
+        out.m[i][i] -= tr;
+    }
+    out
+}
+
+/// Dense 4×4 value of `σ_µν = i γ_µ γ_ν` (for µ ≠ ν the commutator
+/// collapses to a single product).
+fn sigma_entry<R: Real>(mu: usize, nu: usize, row: usize, col: usize) -> Complex<R> {
+    let prod = GAMMA[mu].mul(&GAMMA[nu]);
+    if prod.col[row] == col {
+        prod.phase[row].value::<R>().mul_i()
+    } else {
+        Complex::zero()
+    }
+}
+
+/// Construct the packed clover term for every site of a *global* gauge
+/// field: `A_x = c_sw Σ_{µ<ν} σ_µν ⊗ (i F̂_µν)` (no mass/diagonal shift —
+/// operators fold `4 + m` in at apply time).
+pub fn build_clover_field<R: Real>(
+    g: &GaugeField<R>,
+    global: Dims,
+    c_sw: f64,
+) -> [LatticeField<R, CloverSite<R>>; 2] {
+    let sub = g.sublattice().clone();
+    assert!(
+        sub.partitioned.iter().all(|&x| !x),
+        "clover field is precomputed on the global lattice"
+    );
+    let faces = FaceGeometry::new(&sub, 1).expect("face geometry");
+    let mut out = [
+        LatticeField::zeros(sub.clone(), &faces, Parity::Even, 0),
+        LatticeField::zeros(sub.clone(), &faces, Parity::Odd, 0),
+    ];
+    for p in Parity::BOTH {
+        let sites: Vec<(usize, CloverSite<R>)> = sub
+            .sites(p)
+            .map(|(idx, x)| (idx, clover_site(g, global, x, c_sw)))
+            .collect();
+        for (idx, site) in sites {
+            out[p.index()].set_site(idx, site);
+        }
+    }
+    out
+}
+
+/// The clover term at one site.
+pub fn clover_site<R: Real>(
+    g: &GaugeField<R>,
+    global: Dims,
+    x: [usize; NDIM],
+    c_sw: f64,
+) -> CloverSite<R> {
+    let mut dense = [[[Complex::<R>::zero(); BLOCK_DIM]; BLOCK_DIM]; 2];
+    for mu in 0..NDIM {
+        for nu in (mu + 1)..NDIM {
+            let f = field_strength(g, global, x, mu, nu);
+            // H = iF is Hermitian in color.
+            let h = f.scale_c(Complex::i());
+            for chi in 0..2 {
+                for s in 0..2 {
+                    for s2 in 0..2 {
+                        let ph = sigma_entry::<R>(mu, nu, 2 * chi + s, 2 * chi + s2);
+                        if ph == Complex::zero() {
+                            continue;
+                        }
+                        for c in 0..3 {
+                            for c2 in 0..3 {
+                                dense[chi][s * 3 + c][s2 * 3 + c2] +=
+                                    ph * h.m[c][c2] * Complex::from_re(R::from_f64(c_sw));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Verify hermiticity before packing (cheap; debug builds only).
+    #[cfg(debug_assertions)]
+    for block in &dense {
+        for i in 0..BLOCK_DIM {
+            for j in 0..BLOCK_DIM {
+                let d = block[i][j] - block[j][i].conj();
+                debug_assert!(
+                    d.norm_sqr().to_f64() < 1e-16,
+                    "clover block not Hermitian at ({i},{j})"
+                );
+            }
+        }
+    }
+    CloverSite {
+        blocks: [HermBlock::from_dense(&dense[0]), HermBlock::from_dense(&dense[1])],
+    }
+}
+
+/// Restrict a globally-built clover field to one rank's subvolume.
+pub fn restrict_clover<R: Real>(
+    global_clover: &[LatticeField<R, CloverSite<R>>; 2],
+    sub: Arc<SubLattice>,
+    faces: &FaceGeometry,
+) -> [LatticeField<R, CloverSite<R>>; 2] {
+    [
+        LatticeField::restrict_from_global(
+            &global_clover[0],
+            sub.clone(),
+            faces,
+            Parity::Even,
+            0,
+        ),
+        LatticeField::restrict_from_global(&global_clover[1], sub, faces, Parity::Odd, 0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::GaugeStart;
+    use lqcd_su3::WilsonSpinor;
+    use lqcd_util::rng::SeedTree;
+
+    fn field(global: Dims, start: GaugeStart, seed: u64) -> GaugeField<f64> {
+        let sub = Arc::new(SubLattice::single(global).unwrap());
+        let faces = FaceGeometry::new(&sub, 1).unwrap();
+        GaugeField::generate(sub, &faces, global, &SeedTree::new(seed), start)
+    }
+
+    #[test]
+    fn free_field_strength_vanishes() {
+        let global = Dims([4, 4, 4, 4]);
+        let g = field(global, GaugeStart::Cold, 1);
+        for mu in 0..4 {
+            for nu in (mu + 1)..4 {
+                let f = field_strength(&g, global, [1, 2, 0, 3], mu, nu);
+                assert!(f.norm_sqr() < 1e-24, "F_{mu}{nu} ≠ 0 on free field");
+            }
+        }
+    }
+
+    #[test]
+    fn field_strength_is_traceless_antihermitian() {
+        let global = Dims([4, 4, 4, 4]);
+        let g = field(global, GaugeStart::Disordered(0.3), 2);
+        let f = field_strength(&g, global, [0, 1, 2, 3], 0, 2);
+        assert!(f.norm_sqr() > 1e-6, "disordered field should have flux");
+        assert!(f.trace().abs() < 1e-12);
+        // F† = −F.
+        assert!(f.adjoint().add(&f).norm_sqr() < 1e-24);
+    }
+
+    #[test]
+    fn sigma_is_hermitian_and_block_diagonal() {
+        for mu in 0..4 {
+            for nu in 0..4 {
+                if mu == nu {
+                    continue;
+                }
+                for r in 0..4 {
+                    for c in 0..4 {
+                        let a: Complex<f64> = sigma_entry(mu, nu, r, c);
+                        let b: Complex<f64> = sigma_entry(mu, nu, c, r);
+                        assert!((a - b.conj()).abs() < 1e-15, "σ not Hermitian");
+                        // Chirality block structure: rows 0,1 couple only
+                        // to cols 0,1 etc.
+                        if (r < 2) != (c < 2) {
+                            assert_eq!(a, Complex::zero(), "σ crosses chirality");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clover_term_vanishes_on_free_field() {
+        let global = Dims([4, 4, 4, 4]);
+        let g = field(global, GaugeStart::Cold, 3);
+        let a = clover_site(&g, global, [0, 0, 0, 0], 1.0);
+        let t = SeedTree::new(4);
+        let v = WilsonSpinor::<f64>::random(&mut t.rng());
+        assert!(a.apply(&v).norm_sqr() < 1e-20);
+    }
+
+    #[test]
+    fn clover_term_is_hermitian_operator() {
+        let global = Dims([4, 4, 4, 4]);
+        let g = field(global, GaugeStart::Disordered(0.25), 5);
+        let a = clover_site(&g, global, [1, 0, 2, 3], 1.2);
+        let t = SeedTree::new(6);
+        let mut rng = t.rng();
+        let v = WilsonSpinor::<f64>::random(&mut rng);
+        let w = WilsonSpinor::<f64>::random(&mut rng);
+        let lhs = w.dot(&a.apply(&v));
+        let rhs = a.apply(&w).dot(&v);
+        assert!((lhs - rhs).abs() < 1e-10);
+        // And it is genuinely nonzero.
+        assert!(a.apply(&v).norm_sqr() > 1e-8);
+    }
+
+    #[test]
+    fn build_and_restrict_roundtrip() {
+        use lqcd_lattice::ProcessGrid;
+        let global = Dims([4, 4, 4, 8]);
+        let g = field(global, GaugeStart::Disordered(0.2), 7);
+        let whole = build_clover_field(&g, global, 1.0);
+        let grid = ProcessGrid::new(Dims([1, 1, 1, 2]), global).unwrap();
+        let gsub = g.sublattice().clone();
+        for rank in 0..2 {
+            let sub = Arc::new(SubLattice::for_rank(&grid, rank));
+            let faces = FaceGeometry::new(&sub, 1).unwrap();
+            let local = restrict_clover(&whole, sub.clone(), &faces);
+            for p in Parity::BOTH {
+                for (idx, c) in sub.sites(p) {
+                    let mut gc = c;
+                    gc[3] += sub.origin[3];
+                    let want = whole[gsub.parity(gc).index()].site(gsub.cb_index(gc));
+                    assert_eq!(local[p.index()].site(idx), want);
+                }
+            }
+        }
+    }
+}

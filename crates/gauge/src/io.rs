@@ -1,0 +1,203 @@
+//! Gauge-configuration storage.
+//!
+//! Production lattice workflows checkpoint gauge configurations between
+//! the generation and analysis phases (§2). This module provides a
+//! simple, self-describing binary format (in the spirit of the NERSC
+//! archive format LQCD codes use): a header with the lattice extents and
+//! a link checksum, followed by the raw link data in canonical order
+//! (µ-major, parity, checkerboard site, row-major re/im `f64`s).
+
+use crate::field::GaugeField;
+use crate::plaquette::average_plaquette;
+use lqcd_field::SiteObject;
+use lqcd_lattice::{Dims, FaceGeometry, Parity, SubLattice, NDIM};
+use lqcd_su3::Su3;
+use lqcd_util::{Error, Result};
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+const MAGIC: &[u8; 8] = b"LQCDGF01";
+
+/// Save a *global* (single-rank) gauge field to `path`.
+///
+/// The header records the lattice extents, the average plaquette, and a
+/// simple additive checksum of all link entries; [`load`] verifies both.
+pub fn save<P: AsRef<Path>>(g: &GaugeField<f64>, global: Dims, path: P) -> Result<()> {
+    let sub = g.sublattice();
+    if sub.partitioned.iter().any(|&x| x) {
+        return Err(Error::Config("gauge I/O operates on global fields".into()));
+    }
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    for d in 0..NDIM {
+        out.extend_from_slice(&(global.0[d] as u64).to_le_bytes());
+    }
+    let plaq = average_plaquette(g, global);
+    out.extend_from_slice(&plaq.to_le_bytes());
+    // Payload + running checksum.
+    let mut checksum = 0.0f64;
+    let mut payload = Vec::new();
+    for mu in 0..NDIM {
+        for p in Parity::BOTH {
+            let field = &g.links[mu][p.index()];
+            for idx in 0..field.num_sites() {
+                let mut buf = [0.0f64; 18];
+                field.site(idx).write(&mut buf);
+                for v in buf {
+                    checksum += v;
+                    payload.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+    }
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out.extend_from_slice(&payload);
+    std::fs::File::create(path.as_ref())
+        .and_then(|mut f| f.write_all(&out))
+        .map_err(|e| Error::Config(format!("write {}: {e}", path.as_ref().display())))
+}
+
+/// Load a gauge field saved by [`save`], verifying extents, checksum,
+/// and the recorded plaquette. Ghost zones are allocated at `depth` and
+/// left unfilled (exchange or restrict after loading).
+pub fn load<P: AsRef<Path>>(path: P, depth: usize) -> Result<(GaugeField<f64>, Dims)> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path.as_ref())
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| Error::Config(format!("read {}: {e}", path.as_ref().display())))?;
+    let mut cur = 0usize;
+    let take = |bytes: &[u8], cur: &mut usize, n: usize| -> Result<Vec<u8>> {
+        if *cur + n > bytes.len() {
+            return Err(Error::Config("gauge file truncated".into()));
+        }
+        let out = bytes[*cur..*cur + n].to_vec();
+        *cur += n;
+        Ok(out)
+    };
+    let magic = take(&bytes, &mut cur, 8)?;
+    if magic != MAGIC {
+        return Err(Error::Config("not an LQCDGF01 gauge file".into()));
+    }
+    let mut dims = [0usize; NDIM];
+    for d in dims.iter_mut() {
+        let b: [u8; 8] = take(&bytes, &mut cur, 8)?.try_into().expect("8 bytes");
+        *d = u64::from_le_bytes(b) as usize;
+    }
+    let global = Dims::new(dims)?;
+    let plaq_hdr = f64::from_le_bytes(take(&bytes, &mut cur, 8)?.try_into().expect("8 bytes"));
+    let checksum_hdr =
+        f64::from_le_bytes(take(&bytes, &mut cur, 8)?.try_into().expect("8 bytes"));
+
+    let sub = Arc::new(SubLattice::single(global)?);
+    let faces = FaceGeometry::new(&sub, depth)?;
+    let mut g = GaugeField::zeros(sub.clone(), &faces, 0);
+    let mut checksum = 0.0f64;
+    for mu in 0..NDIM {
+        for p in Parity::BOTH {
+            let n = g.links[mu][p.index()].num_sites();
+            for idx in 0..n {
+                let mut buf = [0.0f64; 18];
+                for v in buf.iter_mut() {
+                    *v = f64::from_le_bytes(
+                        take(&bytes, &mut cur, 8)?.try_into().expect("8 bytes"),
+                    );
+                    checksum += *v;
+                }
+                g.set_link(mu, p, idx, <Su3<f64> as SiteObject<f64>>::read(&buf));
+            }
+        }
+    }
+    if (checksum - checksum_hdr).abs() > 1e-9 * (1.0 + checksum_hdr.abs()) {
+        return Err(Error::Config(format!(
+            "gauge checksum mismatch: header {checksum_hdr}, recomputed {checksum}"
+        )));
+    }
+    let plaq = average_plaquette(&g, global);
+    if (plaq - plaq_hdr).abs() > 1e-10 {
+        return Err(Error::Config(format!(
+            "gauge plaquette mismatch: header {plaq_hdr}, recomputed {plaq}"
+        )));
+    }
+    Ok((g, global))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::GaugeStart;
+    use lqcd_util::rng::SeedTree;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("lqcd_io_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample() -> (GaugeField<f64>, Dims) {
+        let global = Dims([4, 4, 4, 4]);
+        let sub = Arc::new(SubLattice::single(global).unwrap());
+        let faces = FaceGeometry::new(&sub, 1).unwrap();
+        let g = GaugeField::<f64>::generate(
+            sub,
+            &faces,
+            global,
+            &SeedTree::new(17),
+            GaugeStart::Disordered(0.3),
+        );
+        (g, global)
+    }
+
+    #[test]
+    fn save_load_roundtrip_is_exact() {
+        let (g, global) = sample();
+        let path = tmpfile("roundtrip.lqcd");
+        save(&g, global, &path).unwrap();
+        let (back, dims) = load(&path, 1).unwrap();
+        assert_eq!(dims, global);
+        for mu in 0..4 {
+            for p in Parity::BOTH {
+                for idx in 0..g.links[mu][p.index()].num_sites() {
+                    assert_eq!(g.link(mu, p, idx), back.link(mu, p, idx));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let (g, global) = sample();
+        let path = tmpfile("corrupt.lqcd");
+        save(&g, global, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one payload byte well past the header.
+        let k = bytes.len() - 9;
+        bytes[k] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load(&path, 1).is_err(), "corrupted file must be rejected");
+    }
+
+    #[test]
+    fn truncation_and_bad_magic_are_detected() {
+        let (g, global) = sample();
+        let path = tmpfile("trunc.lqcd");
+        save(&g, global, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(load(&path, 1).is_err());
+        std::fs::write(&path, b"NOTAGAUGE").unwrap();
+        assert!(load(&path, 1).is_err());
+    }
+
+    #[test]
+    fn loaded_field_is_usable_at_depth_3() {
+        let (g, global) = sample();
+        let path = tmpfile("depth3.lqcd");
+        save(&g, global, &path).unwrap();
+        let (back, _) = load(&path, 3).unwrap();
+        // Usable as input to asqtad smearing (which needs depth-3 faces).
+        let links =
+            crate::asqtad::AsqtadLinks::compute(&back, global, &crate::asqtad::AsqtadCoeffs::default());
+        assert!(links.fat.link(0, Parity::Even, 0).norm_sqr() > 0.0);
+    }
+}

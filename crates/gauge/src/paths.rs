@@ -1,0 +1,150 @@
+//! Products of links along arbitrary lattice paths.
+//!
+//! Staples, plaquettes, improved-action terms, and the clover leaves are
+//! all path products. These helpers operate on *single-rank* (global)
+//! gauge fields with periodic wrap — precomputation of smeared links and
+//! clover terms happens globally and is then restricted per rank (see
+//! crate docs).
+
+use crate::field::GaugeField;
+use lqcd_lattice::{Dims, NDIM};
+use lqcd_su3::Su3;
+use lqcd_util::Real;
+
+/// One step of a path: direction µ, sign ±.
+///
+/// `Step(mu, true)` hops +µ̂ multiplying by `U_µ(x)`;
+/// `Step(mu, false)` hops −µ̂ multiplying by `U_µ(x−µ̂)†`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Step(pub usize, pub bool);
+
+impl Step {
+    /// The reversed step (undoes this one).
+    pub fn reverse(self) -> Step {
+        Step(self.0, !self.1)
+    }
+}
+
+/// Fetch `U_µ` at an arbitrary global coordinate (wrapped).
+#[inline]
+pub fn link_at<R: Real>(g: &GaugeField<R>, _global: Dims, c: [usize; NDIM], mu: usize) -> Su3<R> {
+    let sub = g.sublattice();
+    debug_assert!(sub.partitioned.iter().all(|&x| !x), "link_at requires a global field");
+    let p = sub.parity(c);
+    g.link(mu, p, sub.cb_index(c))
+}
+
+/// Product of links along `path` starting at `start` (global coordinates,
+/// periodic wrap). Returns the ordered product and ends wherever the path
+/// ends.
+pub fn path_product<R: Real>(
+    g: &GaugeField<R>,
+    global: Dims,
+    start: [usize; NDIM],
+    path: &[Step],
+) -> Su3<R> {
+    let mut acc = Su3::identity();
+    let mut pos = start;
+    for &Step(mu, fwd) in path {
+        if fwd {
+            acc = acc.mul(&link_at(g, global, pos, mu));
+            pos = global.displace(pos, mu, 1);
+        } else {
+            pos = global.displace(pos, mu, -1);
+            acc = acc.mul(&link_at(g, global, pos, mu).adjoint());
+        }
+    }
+    acc
+}
+
+/// The sum of the six staples around `U_µ(x)` (used by the heatbath):
+/// for each ν ≠ µ, the up staple `U_ν(x+µ̂) U_µ(x+ν̂)† U_ν(x)†` and the
+/// down staple `U_ν(x+µ̂−ν̂)† U_µ(x−ν̂)† U_ν(x−ν̂)`.
+pub fn staple_sum<R: Real>(
+    g: &GaugeField<R>,
+    global: Dims,
+    x: [usize; NDIM],
+    mu: usize,
+) -> Su3<R> {
+    let mut sum = Su3::zero();
+    let xpmu = global.displace(x, mu, 1);
+    for nu in 0..NDIM {
+        if nu == mu {
+            continue;
+        }
+        // Up: from x+µ̂ walk +ν, −µ, −ν back to x.
+        let up = path_product(g, global, xpmu, &[Step(nu, true), Step(mu, false), Step(nu, false)]);
+        // Down: from x+µ̂ walk −ν, −µ, +ν back to x.
+        let down =
+            path_product(g, global, xpmu, &[Step(nu, false), Step(mu, false), Step(nu, true)]);
+        sum = sum.add(&up).add(&down);
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::GaugeStart;
+    use lqcd_lattice::{FaceGeometry, SubLattice};
+    use lqcd_util::rng::SeedTree;
+    use std::sync::Arc;
+
+    fn hot_field(global: Dims, seed: u64) -> GaugeField<f64> {
+        let sub = Arc::new(SubLattice::single(global).unwrap());
+        let faces = FaceGeometry::new(&sub, 1).unwrap();
+        GaugeField::generate(sub, &faces, global, &SeedTree::new(seed), GaugeStart::Hot)
+    }
+
+    #[test]
+    fn closed_path_of_step_and_reverse_is_identity() {
+        let global = Dims([4, 4, 4, 4]);
+        let g = hot_field(global, 1);
+        let x = [1, 2, 3, 0];
+        for mu in 0..4 {
+            let prod = path_product(&g, global, x, &[Step(mu, true), Step(mu, false)]);
+            assert!(prod.sub(&Su3::identity()).norm_sqr() < 1e-24, "µ={mu}");
+        }
+    }
+
+    #[test]
+    fn plaquette_path_is_unitary_with_unit_det() {
+        let global = Dims([4, 4, 4, 4]);
+        let g = hot_field(global, 2);
+        let x = [0, 1, 2, 3];
+        let loop_path =
+            [Step(0, true), Step(1, true), Step(0, false), Step(1, false)];
+        let u = path_product(&g, global, x, &loop_path);
+        assert!(u.unitarity_error() < 1e-12);
+        assert!((u.det().abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_loop_is_adjoint() {
+        let global = Dims([4, 4, 4, 4]);
+        let g = hot_field(global, 3);
+        let x = [2, 0, 1, 3];
+        let fwd = [Step(2, true), Step(3, true), Step(2, false), Step(3, false)];
+        let rev: Vec<Step> = fwd.iter().rev().map(|s| s.reverse()).collect();
+        let a = path_product(&g, global, x, &fwd);
+        let b = path_product(&g, global, x, &rev);
+        assert!(a.mul(&b).sub(&Su3::identity()).norm_sqr() < 1e-22);
+        assert!(a.adjoint().sub(&b).norm_sqr() < 1e-22);
+    }
+
+    #[test]
+    fn cold_staple_sum_is_six_identities() {
+        let global = Dims([4, 4, 4, 4]);
+        let sub = Arc::new(SubLattice::single(global).unwrap());
+        let faces = FaceGeometry::new(&sub, 1).unwrap();
+        let g = GaugeField::<f64>::generate(
+            sub,
+            &faces,
+            global,
+            &SeedTree::new(4),
+            GaugeStart::Cold,
+        );
+        let s = staple_sum(&g, global, [0, 0, 0, 0], 0);
+        assert!(s.sub(&Su3::identity().scale(6.0)).norm_sqr() < 1e-24);
+    }
+}

@@ -1,0 +1,75 @@
+//! The average plaquette observable.
+
+use crate::field::GaugeField;
+use crate::paths::{path_product, Step};
+use lqcd_lattice::{Dims, Parity, NDIM};
+use lqcd_util::Real;
+
+/// Average plaquette `⟨(1/3) Re tr U_µν⟩` over all sites and the six
+/// µ < ν planes. 1.0 for a cold field, → 0 for maximal disorder.
+pub fn average_plaquette<R: Real>(g: &GaugeField<R>, global: Dims) -> f64 {
+    let sub = g.sublattice();
+    assert!(
+        sub.partitioned.iter().all(|&x| !x),
+        "average_plaquette expects a global (single-rank) field"
+    );
+    let mut sum = 0.0f64;
+    let mut count = 0usize;
+    for p in Parity::BOTH {
+        for (_, c) in sub.sites(p) {
+            for mu in 0..NDIM {
+                for nu in (mu + 1)..NDIM {
+                    let u = path_product(
+                        g,
+                        global,
+                        c,
+                        &[Step(mu, true), Step(nu, true), Step(mu, false), Step(nu, false)],
+                    );
+                    sum += u.trace().re.to_f64() / 3.0;
+                    count += 1;
+                }
+            }
+        }
+    }
+    sum / count as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::GaugeStart;
+    use lqcd_lattice::{FaceGeometry, SubLattice};
+    use lqcd_util::rng::SeedTree;
+    use std::sync::Arc;
+
+    fn field(global: Dims, start: GaugeStart, seed: u64) -> GaugeField<f64> {
+        let sub = Arc::new(SubLattice::single(global).unwrap());
+        let faces = FaceGeometry::new(&sub, 1).unwrap();
+        GaugeField::generate(sub, &faces, global, &SeedTree::new(seed), start)
+    }
+
+    #[test]
+    fn cold_plaquette_is_one() {
+        let global = Dims([4, 4, 4, 4]);
+        let g = field(global, GaugeStart::Cold, 1);
+        assert!((average_plaquette(&g, global) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hot_plaquette_is_near_zero() {
+        let global = Dims([4, 4, 4, 4]);
+        let g = field(global, GaugeStart::Hot, 2);
+        let p = average_plaquette(&g, global);
+        assert!(p.abs() < 0.1, "hot plaquette {p} should be ~0");
+    }
+
+    #[test]
+    fn disorder_interpolates_monotonically() {
+        let global = Dims([4, 4, 4, 4]);
+        let p_small = average_plaquette(&field(global, GaugeStart::Disordered(0.05), 3), global);
+        let p_mid = average_plaquette(&field(global, GaugeStart::Disordered(0.2), 3), global);
+        let p_big = average_plaquette(&field(global, GaugeStart::Disordered(0.6), 3), global);
+        assert!(p_small > 0.9, "{p_small}");
+        assert!(p_small > p_mid && p_mid > p_big, "{p_small} > {p_mid} > {p_big} violated");
+    }
+}

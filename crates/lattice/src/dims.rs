@@ -1,0 +1,177 @@
+//! Lattice extents and lexicographic indexing.
+
+use lqcd_util::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Number of spacetime dimensions.
+pub const NDIM: usize = 4;
+
+/// Extents of a 4-D lattice, ordered `[X, Y, Z, T]`.
+///
+/// Memory order follows the paper (§6.2): X is the fastest-varying index
+/// and T the slowest.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dims(pub [usize; NDIM]);
+
+impl Dims {
+    /// Construct, validating positivity.
+    pub fn new(dims: [usize; NDIM]) -> Result<Self> {
+        if dims.iter().any(|&d| d == 0) {
+            return Err(Error::Geometry(format!("zero extent in {dims:?}")));
+        }
+        Ok(Dims(dims))
+    }
+
+    /// The common `L³ × T` shorthand (e.g. `Dims::symm(32, 256)` for the
+    /// paper's Wilson-clover volume).
+    pub fn symm(l: usize, t: usize) -> Self {
+        Dims([l, l, l, t])
+    }
+
+    /// Total number of sites.
+    pub fn volume(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Extent along dimension `mu`.
+    #[inline(always)]
+    pub fn extent(&self, mu: usize) -> usize {
+        self.0[mu]
+    }
+
+    /// Lexicographic index of a coordinate (X fastest).
+    #[inline(always)]
+    pub fn index(&self, c: [usize; NDIM]) -> usize {
+        debug_assert!(c.iter().zip(&self.0).all(|(&x, &d)| x < d), "{c:?} out of {:?}", self.0);
+        ((c[3] * self.0[2] + c[2]) * self.0[1] + c[1]) * self.0[0] + c[0]
+    }
+
+    /// Coordinate of a lexicographic index (inverse of [`Dims::index`]).
+    #[inline(always)]
+    pub fn coords(&self, mut idx: usize) -> [usize; NDIM] {
+        debug_assert!(idx < self.volume());
+        let mut c = [0; NDIM];
+        for mu in 0..NDIM {
+            c[mu] = idx % self.0[mu];
+            idx /= self.0[mu];
+        }
+        c
+    }
+
+    /// Parity (checkerboard color) of a coordinate: `(x+y+z+t) mod 2`.
+    #[inline(always)]
+    pub fn parity(c: [usize; NDIM]) -> usize {
+        (c[0] + c[1] + c[2] + c[3]) % 2
+    }
+
+    /// Displace a coordinate by `steps` in direction `mu` with periodic
+    /// wrap (used for *global* coordinates; local neighbours go through
+    /// [`crate::SubLattice`] instead so they can fall into ghost zones).
+    #[inline]
+    pub fn displace(&self, mut c: [usize; NDIM], mu: usize, steps: isize) -> [usize; NDIM] {
+        let l = self.0[mu] as isize;
+        let x = (c[mu] as isize + steps).rem_euclid(l);
+        c[mu] = x as usize;
+        c
+    }
+
+    /// True if every extent is even (required for checkerboarding).
+    pub fn all_even(&self) -> bool {
+        self.0.iter().all(|d| d % 2 == 0)
+    }
+
+    /// Componentwise division for process-grid partitioning; errors if any
+    /// dimension is not exactly divisible.
+    pub fn divide(&self, by: &Dims) -> Result<Dims> {
+        let mut out = [0; NDIM];
+        for mu in 0..NDIM {
+            if self.0[mu] % by.0[mu] != 0 {
+                return Err(Error::Geometry(format!(
+                    "extent {} of dim {mu} not divisible by grid {}",
+                    self.0[mu], by.0[mu]
+                )));
+            }
+            out[mu] = self.0[mu] / by.0[mu];
+        }
+        Ok(Dims(out))
+    }
+}
+
+impl std::fmt::Display for Dims {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}x{}", self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn volume_and_accessors() {
+        let d = Dims::symm(4, 8);
+        assert_eq!(d.volume(), 4 * 4 * 4 * 8);
+        assert_eq!(d.extent(3), 8);
+        assert_eq!(d.to_string(), "4x4x4x8");
+    }
+
+    #[test]
+    fn zero_extent_rejected() {
+        assert!(Dims::new([0, 2, 2, 2]).is_err());
+        assert!(Dims::new([2, 2, 2, 2]).is_ok());
+    }
+
+    #[test]
+    fn index_is_x_fastest() {
+        let d = Dims([4, 6, 8, 10]);
+        assert_eq!(d.index([0, 0, 0, 0]), 0);
+        assert_eq!(d.index([1, 0, 0, 0]), 1);
+        assert_eq!(d.index([0, 1, 0, 0]), 4);
+        assert_eq!(d.index([0, 0, 1, 0]), 24);
+        assert_eq!(d.index([0, 0, 0, 1]), 192);
+    }
+
+    #[test]
+    fn displace_wraps() {
+        let d = Dims([4, 4, 4, 4]);
+        assert_eq!(d.displace([0, 0, 0, 0], 0, -1), [3, 0, 0, 0]);
+        assert_eq!(d.displace([3, 0, 0, 0], 0, 1), [0, 0, 0, 0]);
+        assert_eq!(d.displace([1, 0, 0, 0], 0, -3), [2, 0, 0, 0]);
+    }
+
+    #[test]
+    fn divide_checks_divisibility() {
+        let d = Dims([8, 8, 8, 16]);
+        assert_eq!(d.divide(&Dims([1, 1, 2, 4])).unwrap(), Dims([8, 8, 4, 4]));
+        assert!(d.divide(&Dims([3, 1, 1, 1])).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_index_coords_bijection(
+            dx in 1usize..6, dy in 1usize..6, dz in 1usize..6, dt in 1usize..6,
+            pick in 0usize..1000
+        ) {
+            let d = Dims([dx, dy, dz, dt]);
+            let idx = pick % d.volume();
+            let c = d.coords(idx);
+            prop_assert_eq!(d.index(c), idx);
+            for mu in 0..NDIM {
+                prop_assert!(c[mu] < d.0[mu]);
+            }
+        }
+
+        #[test]
+        fn prop_displace_roundtrip(
+            dx in 2usize..6, dt in 2usize..8, mu in 0usize..4, steps in -5isize..5,
+            pick in 0usize..10_000
+        ) {
+            let d = Dims([dx, dx, dx, dt]);
+            let c = d.coords(pick % d.volume());
+            let there = d.displace(c, mu, steps);
+            let back = d.displace(there, mu, -steps);
+            prop_assert_eq!(back, c);
+        }
+    }
+}

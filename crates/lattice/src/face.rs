@@ -1,0 +1,221 @@
+//! Gather tables for boundary faces.
+//!
+//! The multi-GPU Dirac operator gathers boundary sites into contiguous
+//! buffers before sending them to neighbours (paper §6.1: "the ghost spinor
+//! data for the other three dimensions must be collected into contiguous
+//! GPU memory buffers by a GPU kernel"). [`FaceGeometry`] precomputes, per
+//! partitioned dimension and parity, the checkerboard indices to gather —
+//! in exactly the `(layer, slot)` order that
+//! [`SubLattice::neighbor`](crate::SubLattice::neighbor) assumes on the
+//! receiving side.
+
+use crate::dims::NDIM;
+use crate::local::{Parity, SubLattice};
+use lqcd_util::{Error, Result};
+
+/// Precomputed gather tables for one subvolume at one stencil depth.
+#[derive(Clone, Debug)]
+pub struct FaceGeometry {
+    /// Ghost-zone depth (1 for Wilson, 3 for improved staggered).
+    pub depth: usize,
+    /// `low[mu][parity]`: cb indices of sites with `x_µ ∈ [0, depth)`,
+    /// layer-major — the payload sent to the −µ neighbour (which stores it
+    /// as its *forward* ghost zone).
+    low: [[Vec<u32>; 2]; NDIM],
+    /// `high[mu][parity]`: cb indices of sites with `x_µ ∈ [L−depth, L)`,
+    /// layer-major — sent to the +µ neighbour (stored as *backward* ghost).
+    high: [[Vec<u32>; 2]; NDIM],
+    /// Face volumes per parity, cached.
+    face_vol_cb: [usize; NDIM],
+}
+
+impl FaceGeometry {
+    /// Build gather tables for every partitioned dimension of `sub`.
+    ///
+    /// Errors if any partitioned extent is smaller than `depth` (a 3-hop
+    /// stencil must not skip over an entire rank) or if `depth` is zero.
+    pub fn new(sub: &SubLattice, depth: usize) -> Result<Self> {
+        if depth == 0 {
+            return Err(Error::Geometry("stencil depth must be positive".into()));
+        }
+        let mut low: [[Vec<u32>; 2]; NDIM] = Default::default();
+        let mut high: [[Vec<u32>; 2]; NDIM] = Default::default();
+        let mut face_vol_cb = [0usize; NDIM];
+        for mu in 0..NDIM {
+            face_vol_cb[mu] = sub.face_vol_cb(mu);
+            if !sub.partitioned[mu] {
+                continue;
+            }
+            let l = sub.dims.extent(mu);
+            if l < depth {
+                return Err(Error::Geometry(format!(
+                    "local extent {l} of dim {mu} smaller than stencil depth {depth}"
+                )));
+            }
+            for p in Parity::BOTH {
+                let pi = p.index();
+                low[mu][pi] = gather_table(sub, mu, p, 0, depth);
+                high[mu][pi] = gather_table(sub, mu, p, l - depth, depth);
+            }
+        }
+        Ok(Self { depth, low, high, face_vol_cb })
+    }
+
+    /// Gather table for the low face (payload for the −µ neighbour).
+    pub fn low_face(&self, mu: usize, p: Parity) -> &[u32] {
+        &self.low[mu][p.index()]
+    }
+
+    /// Gather table for the high face (payload for the +µ neighbour).
+    pub fn high_face(&self, mu: usize, p: Parity) -> &[u32] {
+        &self.high[mu][p.index()]
+    }
+
+    /// Number of sites in one ghost buffer (`depth × face_vol_cb`).
+    pub fn ghost_sites(&self, mu: usize) -> usize {
+        self.depth * self.face_vol_cb[mu]
+    }
+
+    /// Checkerboard face volume.
+    pub fn face_vol_cb(&self, mu: usize) -> usize {
+        self.face_vol_cb[mu]
+    }
+}
+
+/// Enumerate cb indices of parity-`p` sites with `x_µ ∈ [start, start+depth)`,
+/// layer-major, slot order within each layer.
+fn gather_table(sub: &SubLattice, mu: usize, p: Parity, start: usize, depth: usize) -> Vec<u32> {
+    let mut out = Vec::with_capacity(depth * sub.face_vol_cb(mu));
+    let rem_dims: Vec<usize> = (0..NDIM).filter(|&d| d != mu).collect();
+    let rem_extents: Vec<usize> = rem_dims.iter().map(|&d| sub.dims.extent(d)).collect();
+    let rem_vol: usize = rem_extents.iter().product();
+    for layer in 0..depth {
+        let xmu = start + layer;
+        for lex in 0..rem_vol {
+            // Unpack lex over remaining dims, fastest first.
+            let mut c = [0usize; NDIM];
+            c[mu] = xmu;
+            let mut r = lex;
+            for (k, &d) in rem_dims.iter().enumerate() {
+                c[d] = r % rem_extents[k];
+                r /= rem_extents[k];
+            }
+            if sub.parity(c) == p {
+                debug_assert_eq!(out.len() % sub.face_vol_cb(mu), sub.face_slot(c, mu));
+                out.push(sub.cb_index(c) as u32);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dims::Dims;
+    use crate::grid::ProcessGrid;
+    use crate::local::Neighbor;
+
+    fn fully_partitioned(dims: [usize; NDIM]) -> SubLattice {
+        let mut s = SubLattice::single(Dims(dims)).unwrap();
+        s.partitioned = [true; NDIM];
+        s
+    }
+
+    #[test]
+    fn rejects_zero_depth_and_thin_ranks() {
+        let s = fully_partitioned([4, 4, 4, 4]);
+        assert!(FaceGeometry::new(&s, 0).is_err());
+        let thin = fully_partitioned([2, 4, 4, 4]);
+        assert!(FaceGeometry::new(&thin, 3).is_err());
+        assert!(FaceGeometry::new(&thin, 1).is_ok());
+    }
+
+    #[test]
+    fn table_sizes_match_ghost_sites() {
+        let s = fully_partitioned([4, 6, 4, 8]);
+        for depth in [1, 3] {
+            let f = FaceGeometry::new(&s, depth).unwrap();
+            for mu in 0..NDIM {
+                for p in Parity::BOTH {
+                    assert_eq!(f.low_face(mu, p).len(), f.ghost_sites(mu));
+                    assert_eq!(f.high_face(mu, p).len(), f.ghost_sites(mu));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unpartitioned_dims_have_empty_tables() {
+        let grid = ProcessGrid::new(Dims([1, 1, 1, 2]), Dims([4, 4, 4, 8])).unwrap();
+        let s = SubLattice::for_rank(&grid, 0);
+        let f = FaceGeometry::new(&s, 1).unwrap();
+        assert!(f.low_face(0, Parity::Even).is_empty());
+        assert!(!f.low_face(3, Parity::Even).is_empty());
+    }
+
+    /// The load-bearing consistency test: a hop that resolves to
+    /// `Ghost { offset }` on the receiver must find, at position `offset`
+    /// of the sender's gather table, exactly the global site the hop
+    /// physically targets.
+    #[test]
+    fn gather_order_matches_receiver_offsets() {
+        // Two ranks along T and two along Z; check every boundary hop.
+        let global = Dims([4, 4, 8, 8]);
+        let grid = ProcessGrid::new(Dims([1, 1, 2, 2]), global).unwrap();
+        for depth in [1usize, 3] {
+            for rank in 0..grid.num_ranks() {
+                let me = SubLattice::for_rank(&grid, rank);
+                let faces_of = |r: usize| {
+                    FaceGeometry::new(&SubLattice::for_rank(&grid, r), depth).unwrap()
+                };
+                for p in Parity::BOTH {
+                    for (_, c) in me.sites(p) {
+                        for mu in 0..NDIM {
+                            for step in [-(depth as isize), -1, 1, depth as isize] {
+                                if step.unsigned_abs() > depth {
+                                    continue;
+                                }
+                                let hop = me.neighbor(c, mu, step, depth);
+                                let Neighbor::Ghost { mu: gmu, forward, offset } = hop else {
+                                    continue;
+                                };
+                                assert_eq!(gmu, mu);
+                                // Identify the neighbouring rank and its table.
+                                let nrank = grid.neighbor_rank(rank, mu, forward);
+                                let neigh = SubLattice::for_rank(&grid, nrank);
+                                let ftab = faces_of(nrank);
+                                // Neighbour parity flips with odd |step|.
+                                let np = if step % 2 != 0 { p.other() } else { p };
+                                let table = if forward {
+                                    ftab.low_face(mu, np)
+                                } else {
+                                    ftab.high_face(mu, np)
+                                };
+                                let got_idx = table[offset] as usize;
+                                let got_global = {
+                                    let lc = neigh.cb_coords(np, got_idx);
+                                    let mut g = [0usize; NDIM];
+                                    for d in 0..NDIM {
+                                        g[d] = lc[d] + neigh.origin[d];
+                                    }
+                                    g
+                                };
+                                // The hop's physical target in global coords.
+                                let mut want = [0usize; NDIM];
+                                for d in 0..NDIM {
+                                    want[d] = c[d] + me.origin[d];
+                                }
+                                let want = global.displace(want, mu, step);
+                                assert_eq!(
+                                    got_global, want,
+                                    "rank {rank} µ={mu} step {step} site {c:?} (depth {depth})"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

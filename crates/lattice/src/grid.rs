@@ -1,0 +1,274 @@
+//! Process grids and the paper's partitioning schemes.
+
+use crate::dims::{Dims, NDIM};
+use lqcd_util::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Which lattice dimensions are split across ranks.
+///
+/// These are exactly the schemes whose scaling the paper compares in
+/// Figs. 6 and 10 (`ZT`, `YZT`, `XYZT`) plus the legacy time-only split of
+/// the earlier QUDA work (`T`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PartitionScheme {
+    /// Partition the time dimension only (the pre-paper QUDA strategy).
+    T,
+    /// Partition Z and T.
+    ZT,
+    /// Partition Y, Z and T.
+    YZT,
+    /// Partition all four dimensions.
+    XYZT,
+}
+
+impl PartitionScheme {
+    /// The dimensions this scheme may split, ordered slowest-memory first
+    /// (T, then Z, then Y, then X) — extra ranks are assigned to slower
+    /// dimensions first, matching the motivation in §6.1 (T longest &
+    /// contiguous).
+    pub fn dims(&self) -> &'static [usize] {
+        match self {
+            PartitionScheme::T => &[3],
+            PartitionScheme::ZT => &[3, 2],
+            PartitionScheme::YZT => &[3, 2, 1],
+            PartitionScheme::XYZT => &[3, 2, 1, 0],
+        }
+    }
+
+    /// Human-readable label as used in the paper's figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PartitionScheme::T => "T",
+            PartitionScheme::ZT => "ZT",
+            PartitionScheme::YZT => "YZT",
+            PartitionScheme::XYZT => "XYZT",
+        }
+    }
+
+    /// All schemes, for sweep drivers.
+    pub const ALL: [PartitionScheme; 4] =
+        [PartitionScheme::T, PartitionScheme::ZT, PartitionScheme::YZT, PartitionScheme::XYZT];
+
+    /// Choose a process grid for `ranks` ranks over a `global` lattice.
+    ///
+    /// Greedy: repeatedly give a factor of 2 (or the smallest prime factor
+    /// left) to the allowed dimension with the largest current local
+    /// extent, breaking ties toward slower dimensions. Errors if `ranks`
+    /// cannot be factored into the allowed dimensions with even local
+    /// extents remaining.
+    pub fn grid(&self, global: Dims, ranks: usize) -> Result<ProcessGrid> {
+        if ranks == 0 {
+            return Err(Error::Geometry("rank count must be positive".into()));
+        }
+        let mut grid = [1usize; NDIM];
+        let mut local = global.0;
+        let mut remaining = ranks;
+        while remaining > 1 {
+            let p = smallest_prime_factor(remaining);
+            // Pick allowed dim with the largest local extent divisible by p
+            // that stays even (checkerboard requirement).
+            let mut best: Option<usize> = None;
+            for &mu in self.dims() {
+                let l = local[mu];
+                if l % p == 0 && (l / p) % 2 == 0 {
+                    match best {
+                        None => best = Some(mu),
+                        Some(b) => {
+                            if local[mu] > local[b] {
+                                best = Some(mu);
+                            }
+                        }
+                    }
+                }
+            }
+            let mu = best.ok_or_else(|| {
+                Error::Geometry(format!(
+                    "cannot place factor {p} of {ranks} ranks into {:?} of {global} under {}",
+                    self.dims(),
+                    self.label()
+                ))
+            })?;
+            grid[mu] *= p;
+            local[mu] /= p;
+            remaining /= p;
+        }
+        ProcessGrid::new(Dims(grid), global)
+    }
+}
+
+fn smallest_prime_factor(n: usize) -> usize {
+    debug_assert!(n > 1);
+    let mut p = 2;
+    while p * p <= n {
+        if n % p == 0 {
+            return p;
+        }
+        p += 1;
+    }
+    n
+}
+
+/// A Cartesian grid of ranks tiling the global lattice.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessGrid {
+    /// Ranks along each dimension.
+    pub shape: Dims,
+    /// The global lattice being tiled.
+    pub global: Dims,
+    /// Local (per-rank) extents, `global / shape`.
+    pub local: Dims,
+}
+
+impl ProcessGrid {
+    /// Build and validate a grid: extents must divide evenly and local
+    /// extents must be even (checkerboarding).
+    pub fn new(shape: Dims, global: Dims) -> Result<Self> {
+        let local = global.divide(&shape)?;
+        if !local.all_even() {
+            return Err(Error::Geometry(format!(
+                "local volume {local} has odd extent; even-odd preconditioning requires even local extents"
+            )));
+        }
+        Ok(Self { shape, global, local })
+    }
+
+    /// Total number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.shape.volume()
+    }
+
+    /// True if dimension `mu` is split across more than one rank.
+    #[inline]
+    pub fn is_partitioned(&self, mu: usize) -> bool {
+        self.shape.0[mu] > 1
+    }
+
+    /// Number of partitioned dimensions.
+    pub fn num_partitioned(&self) -> usize {
+        (0..NDIM).filter(|&mu| self.is_partitioned(mu)).count()
+    }
+
+    /// Grid coordinates of a rank (X fastest, same convention as sites).
+    #[inline]
+    pub fn rank_coords(&self, rank: usize) -> [usize; NDIM] {
+        self.shape.coords(rank)
+    }
+
+    /// Rank id at grid coordinates.
+    #[inline]
+    pub fn rank_at(&self, c: [usize; NDIM]) -> usize {
+        self.shape.index(c)
+    }
+
+    /// The neighbouring rank one step in direction `mu` (`forward = true`
+    /// for +µ), with periodic wrap.
+    #[inline]
+    pub fn neighbor_rank(&self, rank: usize, mu: usize, forward: bool) -> usize {
+        let c = self.rank_coords(rank);
+        let step = if forward { 1 } else { -1 };
+        self.rank_at(self.shape.displace(c, mu, step))
+    }
+
+    /// Origin (global coordinate of local site `[0,0,0,0]`) of a rank.
+    pub fn origin(&self, rank: usize) -> [usize; NDIM] {
+        let rc = self.rank_coords(rank);
+        let mut o = [0; NDIM];
+        for mu in 0..NDIM {
+            o[mu] = rc[mu] * self.local.0[mu];
+        }
+        o
+    }
+
+    /// Which rank owns a global coordinate.
+    pub fn owner(&self, c: [usize; NDIM]) -> usize {
+        let mut rc = [0; NDIM];
+        for mu in 0..NDIM {
+            rc[mu] = c[mu] / self.local.0[mu];
+        }
+        self.rank_at(rc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn scheme_dims_grow() {
+        assert_eq!(PartitionScheme::T.dims(), &[3]);
+        assert_eq!(PartitionScheme::XYZT.dims().len(), 4);
+    }
+
+    #[test]
+    fn t_scheme_splits_time_only() {
+        let g = PartitionScheme::T.grid(Dims::symm(8, 32), 4).unwrap();
+        assert_eq!(g.shape, Dims([1, 1, 1, 4]));
+        assert_eq!(g.local, Dims([8, 8, 8, 8]));
+    }
+
+    #[test]
+    fn xyzt_scheme_balances() {
+        // The paper's Wilson volume on 256 GPUs.
+        let g = PartitionScheme::XYZT.grid(Dims::symm(32, 256), 256).unwrap();
+        assert_eq!(g.num_ranks(), 256);
+        // All local extents even and ≥ 2.
+        assert!(g.local.all_even());
+        assert_eq!(g.local.volume() * 256, Dims::symm(32, 256).volume());
+    }
+
+    #[test]
+    fn zt_cannot_absorb_too_many_ranks() {
+        // 8^3x8 with 256 ranks in ZT would need local extents < 1.
+        assert!(PartitionScheme::ZT.grid(Dims::symm(8, 8), 256).is_err());
+    }
+
+    #[test]
+    fn rank_coords_roundtrip_and_neighbors() {
+        let g = ProcessGrid::new(Dims([1, 2, 2, 4]), Dims([4, 8, 8, 16])).unwrap();
+        for r in 0..g.num_ranks() {
+            assert_eq!(g.rank_at(g.rank_coords(r)), r);
+            for mu in 0..NDIM {
+                let fwd = g.neighbor_rank(r, mu, true);
+                let back = g.neighbor_rank(fwd, mu, false);
+                assert_eq!(back, r, "neighbor inverse failed at rank {r} dim {mu}");
+            }
+        }
+    }
+
+    #[test]
+    fn owner_matches_origin() {
+        let g = ProcessGrid::new(Dims([2, 1, 2, 2]), Dims([8, 4, 8, 8])).unwrap();
+        for r in 0..g.num_ranks() {
+            let o = g.origin(r);
+            assert_eq!(g.owner(o), r);
+            // Last site of the block also owned by r.
+            let mut last = o;
+            for mu in 0..NDIM {
+                last[mu] += g.local.0[mu] - 1;
+            }
+            assert_eq!(g.owner(last), r);
+        }
+    }
+
+    #[test]
+    fn odd_local_extent_rejected() {
+        // 6/2 = 3 (odd) in X → reject.
+        assert!(ProcessGrid::new(Dims([2, 1, 1, 1]), Dims([6, 4, 4, 4])).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_grid_covers_lattice(ranks in 1usize..64) {
+            // Whenever a grid is constructible, rank subvolumes tile the lattice.
+            let global = Dims::symm(16, 32);
+            if let Ok(g) = PartitionScheme::XYZT.grid(global, ranks) {
+                prop_assert_eq!(g.num_ranks() * g.local.volume(), global.volume());
+                // owner(origin(r)) == r for all ranks
+                for r in 0..g.num_ranks() {
+                    prop_assert_eq!(g.owner(g.origin(r)), r);
+                }
+            }
+        }
+    }
+}

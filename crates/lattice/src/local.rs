@@ -1,0 +1,370 @@
+//! One rank's subvolume: even-odd indexing and stencil neighbour
+//! resolution.
+
+use crate::dims::{Dims, NDIM};
+use crate::grid::ProcessGrid;
+use lqcd_util::{Error, Result};
+
+/// Checkerboard color of a site.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Parity {
+    /// Sites with even coordinate sum.
+    Even,
+    /// Sites with odd coordinate sum.
+    Odd,
+}
+
+impl Parity {
+    /// 0 for even, 1 for odd.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        match self {
+            Parity::Even => 0,
+            Parity::Odd => 1,
+        }
+    }
+
+    /// The opposite parity.
+    #[inline(always)]
+    pub fn other(self) -> Parity {
+        match self {
+            Parity::Even => Parity::Odd,
+            Parity::Odd => Parity::Even,
+        }
+    }
+
+    /// From a coordinate-sum value.
+    #[inline(always)]
+    pub fn of_sum(s: usize) -> Parity {
+        if s % 2 == 0 {
+            Parity::Even
+        } else {
+            Parity::Odd
+        }
+    }
+
+    /// Both parities, for iteration.
+    pub const BOTH: [Parity; 2] = [Parity::Even, Parity::Odd];
+}
+
+/// Where a stencil hop landed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Neighbor {
+    /// Inside the local body, at checkerboard index `idx` (the parity is
+    /// implied by the hop distance and the source parity).
+    Interior {
+        /// Checkerboard index within the neighbour's parity.
+        idx: usize,
+    },
+    /// In a ghost zone: direction `mu`, `forward` for the +µ neighbour's
+    /// data, `offset` already combines layer and face slot (an index into
+    /// the ghost buffer of the relevant parity).
+    Ghost {
+        /// Partitioned dimension crossed.
+        mu: usize,
+        /// True if the +µ boundary was crossed.
+        forward: bool,
+        /// `layer * face_vol_cb + slot` into the ghost buffer.
+        offset: usize,
+    },
+}
+
+/// The subvolume owned by one rank.
+///
+/// Carries everything neighbour resolution needs: local extents, which
+/// dimensions are partitioned (hops across those go to ghost zones; hops
+/// across *unpartitioned* boundaries wrap periodically on-rank), and the
+/// rank's origin so global parity can be formed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubLattice {
+    /// Local extents.
+    pub dims: Dims,
+    /// Global coordinate of local site `[0,0,0,0]`.
+    pub origin: [usize; NDIM],
+    /// True for dimensions split across ranks.
+    pub partitioned: [bool; NDIM],
+}
+
+impl SubLattice {
+    /// Subvolume of `rank` within a process grid.
+    pub fn for_rank(grid: &ProcessGrid, rank: usize) -> Self {
+        let mut partitioned = [false; NDIM];
+        for (mu, p) in partitioned.iter_mut().enumerate() {
+            *p = grid.is_partitioned(mu);
+        }
+        SubLattice { dims: grid.local, origin: grid.origin(rank), partitioned }
+    }
+
+    /// A single-rank (unpartitioned) lattice covering `dims`.
+    pub fn single(dims: Dims) -> Result<Self> {
+        if !dims.all_even() {
+            return Err(Error::Geometry(format!("{dims} has odd extent")));
+        }
+        Ok(SubLattice { dims, origin: [0; NDIM], partitioned: [false; NDIM] })
+    }
+
+    /// Sites per parity (`Vh` in the paper's Fig. 2).
+    #[inline]
+    pub fn volume_cb(&self) -> usize {
+        self.dims.volume() / 2
+    }
+
+    /// Checkerboard face volume for dimension `mu` (sites of one parity on
+    /// one `x_µ = const` slice).
+    #[inline]
+    pub fn face_vol_cb(&self, mu: usize) -> usize {
+        self.dims.volume() / self.dims.extent(mu) / 2
+    }
+
+    /// Parity of a local coordinate (origins have even coordinate sums for
+    /// even local extents, so local parity equals global parity; we add the
+    /// origin anyway to keep the definition global).
+    #[inline(always)]
+    pub fn parity(&self, c: [usize; NDIM]) -> Parity {
+        let s: usize = (0..NDIM).map(|mu| c[mu] + self.origin[mu]).sum();
+        Parity::of_sum(s)
+    }
+
+    /// Checkerboard index of a local coordinate within its parity.
+    #[inline(always)]
+    pub fn cb_index(&self, c: [usize; NDIM]) -> usize {
+        self.dims.index(c) / 2
+    }
+
+    /// Local coordinate of checkerboard index `idx` at parity `p`
+    /// (inverse of [`SubLattice::cb_index`] restricted to parity `p`).
+    #[inline]
+    pub fn cb_coords(&self, p: Parity, idx: usize) -> [usize; NDIM] {
+        let [lx, ly, lz, _lt] = self.dims.0;
+        let xh = idx % (lx / 2);
+        let rem = idx / (lx / 2);
+        let y = rem % ly;
+        let rem = rem / ly;
+        let z = rem % lz;
+        let t = rem / lz;
+        // Global parity: include origin (even sums for even extents, kept
+        // for clarity).
+        let osum: usize = self.origin.iter().sum();
+        let want = p.index();
+        let x = 2 * xh + ((want + y + z + t + osum) % 2);
+        [x, y, z, t]
+    }
+
+    /// Resolve a stencil hop of `step` (±1 for nearest-neighbour, ±3 for
+    /// the Naik term) in direction `mu` from local coordinate `c`.
+    ///
+    /// `depth` is the ghost-zone depth of the operator (1 for Wilson, 3
+    /// for asqtad) and fixes the layer arithmetic for backward ghosts.
+    #[inline]
+    pub fn neighbor(&self, c: [usize; NDIM], mu: usize, step: isize, depth: usize) -> Neighbor {
+        debug_assert!(step != 0 && step.unsigned_abs() <= depth);
+        let l = self.dims.extent(mu) as isize;
+        let target = c[mu] as isize + step;
+        if (0..l).contains(&target) {
+            let mut nc = c;
+            nc[mu] = target as usize;
+            return Neighbor::Interior { idx: self.cb_index(nc) };
+        }
+        if !self.partitioned[mu] {
+            // Periodic wrap on-rank.
+            let mut nc = c;
+            nc[mu] = target.rem_euclid(l) as usize;
+            return Neighbor::Interior { idx: self.cb_index(nc) };
+        }
+        let face = self.face_vol_cb(mu);
+        let slot = self.face_slot(c, mu);
+        if target >= l {
+            // Overshoot: +µ neighbour's low edge; x_µ = L + k ↦ layer k.
+            let k = (target - l) as usize;
+            debug_assert!(k < depth);
+            Neighbor::Ghost { mu, forward: true, offset: k * face + slot }
+        } else {
+            // Undershoot: −µ neighbour's high edge; x_µ = −1−k ↦ layer
+            // depth−1−k (sender gathers layers l = x_µ − (L−depth)).
+            let k = (-1 - target) as usize;
+            debug_assert!(k < depth);
+            Neighbor::Ghost { mu, forward: false, offset: (depth - 1 - k) * face + slot }
+        }
+    }
+
+    /// Slot of a site within an `x_µ = const` face of its own parity:
+    /// the lexicographic index over the remaining dimensions, halved.
+    ///
+    /// Valid because the fastest remaining dimension has even extent, so
+    /// consecutive lexicographic pairs contain exactly one site of each
+    /// parity. Sender gather tables ([`crate::FaceGeometry`]) enumerate
+    /// sites in exactly this order.
+    #[inline(always)]
+    pub fn face_slot(&self, c: [usize; NDIM], mu: usize) -> usize {
+        let mut lex = 0;
+        let mut stride = 1;
+        for d in 0..NDIM {
+            if d == mu {
+                continue;
+            }
+            lex += c[d] * stride;
+            stride *= self.dims.extent(d);
+        }
+        lex / 2
+    }
+
+    /// Iterate all sites of a parity as `(cb_index, local_coords)`.
+    pub fn sites(&self, p: Parity) -> impl Iterator<Item = (usize, [usize; NDIM])> + '_ {
+        (0..self.volume_cb()).map(move |idx| (idx, self.cb_coords(p, idx)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::ProcessGrid;
+    use proptest::prelude::*;
+
+    fn sub(dims: [usize; NDIM]) -> SubLattice {
+        SubLattice::single(Dims(dims)).unwrap()
+    }
+
+    #[test]
+    fn parity_helpers() {
+        assert_eq!(Parity::Even.other(), Parity::Odd);
+        assert_eq!(Parity::Odd.other(), Parity::Even);
+        assert_eq!(Parity::of_sum(4), Parity::Even);
+        assert_eq!(Parity::of_sum(7), Parity::Odd);
+    }
+
+    #[test]
+    fn cb_index_bijection() {
+        let s = sub([4, 6, 4, 8]);
+        for p in Parity::BOTH {
+            for idx in 0..s.volume_cb() {
+                let c = s.cb_coords(p, idx);
+                assert_eq!(s.parity(c), p, "coords {c:?}");
+                assert_eq!(s.cb_index(c), idx);
+            }
+        }
+    }
+
+    #[test]
+    fn all_sites_covered_exactly_once() {
+        let s = sub([4, 4, 4, 4]);
+        let mut seen = vec![false; s.dims.volume()];
+        for p in Parity::BOTH {
+            for (_, c) in s.sites(p) {
+                let lex = s.dims.index(c);
+                assert!(!seen[lex], "{c:?} visited twice");
+                seen[lex] = true;
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn interior_neighbor_flips_parity_for_odd_steps() {
+        let s = sub([4, 4, 4, 4]);
+        for (idx, c) in s.sites(Parity::Even) {
+            let _ = idx;
+            for mu in 0..NDIM {
+                for step in [-1isize, 1] {
+                    match s.neighbor(c, mu, step, 1) {
+                        Neighbor::Interior { idx } => {
+                            let nc = s.cb_coords(Parity::Odd, idx);
+                            // Neighbour must be one periodic step away.
+                            let l = s.dims.extent(mu) as isize;
+                            let want = (c[mu] as isize + step).rem_euclid(l) as usize;
+                            assert_eq!(nc[mu], want);
+                            for d in 0..NDIM {
+                                if d != mu {
+                                    assert_eq!(nc[d], c[d]);
+                                }
+                            }
+                        }
+                        g => panic!("unpartitioned lattice produced ghost {g:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_hops_become_ghosts() {
+        let grid = ProcessGrid::new(Dims([1, 1, 2, 2]), Dims([4, 4, 8, 8])).unwrap();
+        let s = SubLattice::for_rank(&grid, 0);
+        // Site on the T=0 boundary stepping backward in T crosses a cut.
+        let c = [0, 0, 0, 0];
+        match s.neighbor(c, 3, -1, 1) {
+            Neighbor::Ghost { mu, forward, offset } => {
+                assert_eq!(mu, 3);
+                assert!(!forward);
+                assert_eq!(offset, s.face_slot(c, 3));
+            }
+            n => panic!("expected ghost, got {n:?}"),
+        }
+        // Same site stepping backward in X wraps (X unpartitioned).
+        assert!(matches!(s.neighbor(c, 0, -1, 1), Neighbor::Interior { .. }));
+    }
+
+    #[test]
+    fn naik_layer_arithmetic() {
+        let grid = ProcessGrid::new(Dims([1, 1, 1, 2]), Dims([4, 4, 4, 16])).unwrap();
+        let s = SubLattice::for_rank(&grid, 0);
+        let face = s.face_vol_cb(3);
+        // x_t = 0, step -3 → target −3 → k=2 → layer depth−1−k = 0.
+        let c0 = [0, 0, 0, 0];
+        if let Neighbor::Ghost { offset, forward, .. } = s.neighbor(c0, 3, -3, 3) {
+            assert!(!forward);
+            assert_eq!(offset / face, 0);
+        } else {
+            panic!("expected ghost");
+        }
+        // x_t = 2, step -3 → target −1 → k=0 → layer 2.
+        let c2 = [0, 0, 0, 2];
+        if let Neighbor::Ghost { offset, .. } = s.neighbor(c2, 3, -3, 3) {
+            assert_eq!(offset / face, 2);
+        } else {
+            panic!("expected ghost");
+        }
+        // x_t = 7 (=L−1), step +3 → target 10 → k=2 → layer 2, forward.
+        let c7 = [0, 0, 0, 7];
+        if let Neighbor::Ghost { offset, forward, .. } = s.neighbor(c7, 3, 3, 3) {
+            assert!(forward);
+            assert_eq!(offset / face, 2);
+        } else {
+            panic!("expected ghost");
+        }
+    }
+
+    #[test]
+    fn face_slot_is_bijective_per_parity() {
+        let s = sub([4, 4, 6, 8]);
+        for mu in 0..NDIM {
+            for xc in [0, s.dims.extent(mu) - 1] {
+                for p in Parity::BOTH {
+                    let mut seen = vec![false; s.face_vol_cb(mu)];
+                    for (_, c) in s.sites(p) {
+                        if c[mu] != xc {
+                            continue;
+                        }
+                        let slot = s.face_slot(c, mu);
+                        assert!(!seen[slot], "slot {slot} reused (µ={mu}, parity {p:?})");
+                        seen[slot] = true;
+                    }
+                    assert!(seen.iter().all(|&x| x), "face not covered (µ={mu})");
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cb_roundtrip(dimsel in 0usize..4, idx in 0usize..10_000) {
+            let dims = [[4,4,4,4],[2,6,4,8],[8,2,2,4],[6,4,2,10]][dimsel];
+            let s = sub(dims);
+            let idx = idx % s.volume_cb();
+            for p in Parity::BOTH {
+                let c = s.cb_coords(p, idx);
+                prop_assert_eq!(s.cb_index(c), idx);
+                prop_assert_eq!(s.parity(c), p);
+            }
+        }
+    }
+}

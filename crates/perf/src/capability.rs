@@ -1,0 +1,133 @@
+//! Analytic models of the Fig. 9 capability machines.
+//!
+//! Fig. 9 puts the GPU results in context against leadership systems
+//! running the same 32³×256 Wilson-clover problem: Jaguar (Cray XT4),
+//! JaguarPF (Cray XT5) and Intrepid (BlueGene/P). We model each as a
+//! per-core sustained solver rate degraded by strong-scaling
+//! communication: the per-core subvolume's surface-to-volume ratio sets
+//! the communication fraction, and a torus-appropriate per-core injection
+//! bandwidth sets its cost. Parameters are calibrated to the paper's
+//! reported band — 10–17 sustained Tflops somewhere above 16 384 cores.
+
+use serde::{Deserialize, Serialize};
+
+/// A CPU capability machine.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CpuMachine {
+    /// Display name as in the figure legend.
+    pub name: String,
+    /// Per-core sustained solver flop rate on local data, flops/s.
+    pub core_flops: f64,
+    /// Per-core effective injection bandwidth, bytes/s.
+    pub core_bw: f64,
+    /// Global-reduction latency, s (tree networks make this cheap on
+    /// BG/P).
+    pub reduction_latency: f64,
+    /// Solver precision label as in the legend.
+    pub solver: String,
+}
+
+/// Jaguar, Cray XT4 (retired) — relaxed-iteration BiCGstab, mixed
+/// precision.
+pub fn xt4() -> CpuMachine {
+    CpuMachine {
+        name: "Jaguar XT4".into(),
+        core_flops: 0.65e9,
+        core_bw: 0.25e9,
+        reduction_latency: 25.0e-6,
+        solver: "Rel. IBiCGStab, Mixed Prec.".into(),
+    }
+}
+
+/// JaguarPF, Cray XT5 — relaxed-iteration BiCGstab, mixed precision.
+pub fn xt5() -> CpuMachine {
+    CpuMachine {
+        name: "Jaguar XT5".into(),
+        core_flops: 0.60e9,
+        core_bw: 0.30e9,
+        reduction_latency: 22.0e-6,
+        solver: "Rel. IBiCGStab, Mixed Prec.".into(),
+    }
+}
+
+/// Intrepid, BlueGene/P — pure double-precision BiCGstab.
+pub fn bgp() -> CpuMachine {
+    CpuMachine {
+        name: "Intrepid BG/P".into(),
+        core_flops: 0.35e9,
+        core_bw: 0.45e9,
+        reduction_latency: 6.0e-6,
+        solver: "BiCGStab DP".into(),
+    }
+}
+
+/// Kraken (Cray XT5 at NICS) running CPU MILC: the §9.2 comparison point
+/// — 942 Gflops sustained with 4096 cores in the double-precision
+/// multi-shift solver, i.e. ≈ 0.23 Gflops/core, making one GPU worth
+/// ≈ 74 cores.
+pub const KRAKEN_GFLOPS_AT_4096: f64 = 942.0;
+
+/// Sustained solver Tflops on `cores` cores for the 32³×256 Wilson
+/// problem.
+pub fn sustained_tflops(m: &CpuMachine, cores: usize, volume_sites: f64) -> f64 {
+    let flops_per_site = 1464.0; // Wilson dslash + solver BLAS, per site
+    let bytes_per_site_surface = 12.0 * 4.0; // projected half spinor, SP wire
+    let local = volume_sites / cores as f64;
+    // Balanced 4-D decomposition: surface/volume ≈ 8 / local^{1/4}… use
+    // the exact 4-D cube surface for a hypercubic block of side
+    // local^(1/4).
+    let side = local.powf(0.25).max(1.0);
+    let surface_sites = 8.0 * local / side;
+    let t_compute = local * flops_per_site / m.core_flops;
+    let t_comm = surface_sites * bytes_per_site_surface / m.core_bw;
+    // ~4 reductions per iteration amortized over one dslash-pair's work.
+    let t_reduce = 4.0 * m.reduction_latency * (cores as f64).log2() / 16.0;
+    let t_iter = t_compute.max(t_comm) + t_reduce;
+    let sustained = local * flops_per_site / t_iter * cores as f64;
+    sustained / 1e12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const V: f64 = (32 * 32 * 32 * 256) as f64;
+
+    #[test]
+    fn machines_land_in_the_papers_band() {
+        // "The performance range of 10-17 Tflops is attained on partitions
+        // of size greater than 16,384 cores on all these systems."
+        for (m, cores) in [
+            (xt4(), [8192usize, 12_288, 16_384]),
+            (xt5(), [16_384, 24_576, 32_768]),
+            (bgp(), [16_384, 24_576, 32_768]),
+        ] {
+            let best = cores
+                .iter()
+                .map(|&c| sustained_tflops(&m, c, V))
+                .fold(0.0f64, f64::max);
+            assert!(
+                (8.0..20.0).contains(&best),
+                "{}: best sustained {best} Tflops outside the plausible band",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_is_sublinear_at_scale() {
+        let m = xt5();
+        let t16k = sustained_tflops(&m, 16_384, V);
+        let t32k = sustained_tflops(&m, 32_768, V);
+        assert!(t32k > t16k, "more cores should still help");
+        assert!(t32k < 1.9 * t16k, "but far from ideally");
+    }
+
+    #[test]
+    fn kraken_comparison_point() {
+        // 1 GPU ≈ 74 CPU cores at 942 Gflops / 4096 cores (§9.2).
+        let per_core = KRAKEN_GFLOPS_AT_4096 / 4096.0;
+        let gpu_equivalent = 74.0 * per_core;
+        assert!((15.0..20.0).contains(&gpu_equivalent), "≈17 Gflops per GPU equivalent");
+    }
+}

@@ -1,0 +1,35 @@
+//! The simulated GPU-cluster performance model.
+//!
+//! We have no Edge cluster, no Tesla M2050s, no QDR InfiniBand — so the
+//! paper's *measurements* (Figs. 5–10) are regenerated from a calibrated
+//! analytic model whose structure mirrors the implementation:
+//!
+//! * [`model`] — hardware parameters: device (bandwidth-bound kernels with
+//!   a small-volume saturation roll-off), PCI-E bus shared by the two GPUs
+//!   of a node, pinned↔pageable host copies, and the interconnect;
+//!   presets for Edge (§7.1) and the Fig. 9 capability machines;
+//! * [`cost`] — per-site flop and byte counts for each operator ×
+//!   precision × link-compression combination, and ghost-zone traffic per
+//!   partitioned dimension, derived from the *actual* lattice geometry
+//!   code (`lqcd-lattice`), so the model cannot drift from the
+//!   implementation;
+//! * [`streams`] — a discrete-event simulation of the 9-stream schedule
+//!   of Fig. 4: gather kernels first, the interior kernel overlapping the
+//!   per-dimension communication pipelines (D2H → host memcpy → MPI →
+//!   memcpy → H2D), then sequential exterior kernels;
+//! * [`solver_model`] — per-iteration costs and iteration-count models
+//!   for BiCGstab, GCR-DD and multi-shift CG, with the iteration inputs
+//!   calibrated from this repository's *real* small-lattice solves;
+//! * [`capability`] — the CPU capability-machine curves of Fig. 9;
+//! * [`sweep`] — figure-series generators used by the bench binaries.
+
+pub mod capability;
+pub mod cost;
+pub mod model;
+pub mod solver_model;
+pub mod streams;
+pub mod sweep;
+
+pub use cost::{OperatorKind, Precision, Recon};
+pub use model::{edge, edge_gpu_direct, ClusterModel};
+pub use streams::{simulate_dslash, DslashTiming};

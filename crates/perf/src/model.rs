@@ -1,0 +1,188 @@
+//! Hardware parameters of the simulated cluster.
+
+use serde::{Deserialize, Serialize};
+
+/// One GPU (device) model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GpuModel {
+    /// Device name for reports.
+    pub name: String,
+    /// Effective device memory bandwidth, bytes/s (ECC on).
+    pub mem_bw: f64,
+    /// Peak single-precision flop rate, flops/s.
+    pub peak_sp: f64,
+    /// Peak double-precision flop rate, flops/s.
+    pub peak_dp: f64,
+    /// Checkerboard-site count at which kernels reach 50 % of peak
+    /// bandwidth: utilization `u(s) = s / (s + sat_sites_cb)`. Calibrated
+    /// so a single GPU at the 256-GPU local volume runs ≈ 2× slower than
+    /// at the 16-GPU local volume (§9.1 last paragraph).
+    pub sat_sites_cb: f64,
+    /// Fixed overhead per kernel launch, seconds.
+    pub launch_overhead: f64,
+    /// Effective-bandwidth multiplier for half-precision kernels: the
+    /// fixed-point unpack/normalize path does not reach full streaming
+    /// efficiency (calibrated so HP ≈ 1.6× SP on a saturated device, as
+    /// in Fig. 5's small-partition points).
+    pub half_efficiency: f64,
+}
+
+/// One node and the fabric around it.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NodeModel {
+    /// GPUs per node (2 on Edge, sharing one x16 PCI-E connection, §7.1).
+    pub gpus_per_node: usize,
+    /// PCI-E bandwidth per direction for the *shared* x16 link, bytes/s.
+    pub pcie_bw: f64,
+    /// PCI-E transaction latency, s.
+    pub pcie_latency: f64,
+    /// Host pinned↔pageable memcpy bandwidth, bytes/s. Two such copies
+    /// per message per side because "GPU pinned memory is not compatible
+    /// with memory pinned by MPI implementations" (§6.3) and GPU-Direct
+    /// was unavailable.
+    pub host_memcpy_bw: f64,
+    /// Interconnect point-to-point bandwidth per direction, bytes/s
+    /// (QDR InfiniBand).
+    pub nic_bw: f64,
+    /// Interconnect message latency, s.
+    pub nic_latency: f64,
+    /// GPU-Direct / peer-to-peer transfers available: the two
+    /// pinned↔pageable host copies are eliminated ("We expect to be able
+    /// to remove these extra memory copies in the future", §6.3). Off for
+    /// Edge in 2011; flip on for the ablation.
+    pub gpu_direct: bool,
+    /// Fixed per-stage synchronization cost, s: stream-event waits,
+    /// MPI progress polling, and host scheduling between the stages of
+    /// the ghost pipeline. Dominates small-message exchanges at high GPU
+    /// counts — the regime where Fig. 5 notes the HP advantage fading.
+    pub stage_sync_latency: f64,
+}
+
+/// The full cluster model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClusterModel {
+    /// Cluster name for reports.
+    pub name: String,
+    /// Device parameters.
+    pub gpu: GpuModel,
+    /// Node/fabric parameters.
+    pub node: NodeModel,
+    /// Per-hop latency of a global reduction, s (allreduce modeled as
+    /// `2·log₂(P)` hops plus software overhead).
+    pub reduction_hop_latency: f64,
+    /// Fixed software overhead per global reduction, s.
+    pub reduction_overhead: f64,
+}
+
+impl ClusterModel {
+    /// Effective device bandwidth at a given checkerboard volume.
+    pub fn eff_bandwidth(&self, sites_cb: usize) -> f64 {
+        let s = sites_cb as f64;
+        self.gpu.mem_bw * s / (s + self.gpu.sat_sites_cb)
+    }
+
+    /// Time for one global reduction across `ranks` ranks.
+    pub fn reduction_time(&self, ranks: usize) -> f64 {
+        if ranks <= 1 {
+            return self.reduction_overhead;
+        }
+        let hops = 2.0 * (ranks as f64).log2().ceil();
+        self.reduction_overhead + hops * self.reduction_hop_latency
+    }
+
+    /// Per-GPU PCI-E bandwidth (the x16 link is shared by the node's
+    /// GPUs, all active simultaneously during a collective exchange).
+    pub fn pcie_bw_per_gpu(&self) -> f64 {
+        self.node.pcie_bw / self.node.gpus_per_node as f64
+    }
+}
+
+/// Edge with the §6.3 future-work improvements applied: GPU-Direct
+/// removes both host memory copies from every ghost pipeline.
+pub fn edge_gpu_direct() -> ClusterModel {
+    let mut m = edge();
+    m.name = "Edge + GPU-Direct (projected)".into();
+    m.node.gpu_direct = true;
+    m
+}
+
+/// The Edge cluster at LLNL (§7.1): dual-socket Westmere nodes with two
+/// Tesla M2050s (ECC on) behind a shared x16 PCI-E switch and one QDR
+/// InfiniBand HCA.
+pub fn edge() -> ClusterModel {
+    ClusterModel {
+        name: "Edge (LLNL)".into(),
+        gpu: GpuModel {
+            name: "Tesla M2050 (ECC)".into(),
+            // 148 GB/s raw, ~120 GB/s with ECC.
+            mem_bw: 120.0e9,
+            peak_sp: 1030.0e9,
+            peak_dp: 515.0e9,
+            // Calibrated against the §9.1 "factor of two slower" note.
+            sat_sites_cb: 15_000.0,
+            launch_overhead: 7.0e-6,
+            half_efficiency: 0.8,
+        },
+        node: NodeModel {
+            gpus_per_node: 2,
+            // PCI-E gen2 x16 ≈ 8 GB/s raw, ~6 GB/s effective, shared.
+            pcie_bw: 6.0e9,
+            pcie_latency: 10.0e-6,
+            host_memcpy_bw: 6.0e9,
+            // QDR IB: 32 Gb/s signalling → ~3.2 GB/s effective.
+            nic_bw: 3.2e9,
+            nic_latency: 1.7e-6,
+            gpu_direct: false,
+            stage_sync_latency: 18.0e-6,
+        },
+        // A 2011-era GPU-cluster allreduce: device synchronization, D2H of
+        // the partial, MPI_Allreduce under OS jitter, and the H2D of the
+        // result — hundreds of microseconds of fixed cost plus a per-hop
+        // term. This is the "periodic global reduction" cost of §3.2 that
+        // the Schwarz preconditioner exists to avoid.
+        reduction_hop_latency: 100.0e-6,
+        reduction_overhead: 700.0e-6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_parameters_are_sane() {
+        let m = edge();
+        assert!(m.gpu.mem_bw > 1e11 && m.gpu.mem_bw < 1.5e11);
+        assert!(m.gpu.peak_sp / m.gpu.peak_dp > 1.9 && m.gpu.peak_sp / m.gpu.peak_dp < 2.1);
+        assert_eq!(m.node.gpus_per_node, 2);
+        assert!(m.node.nic_bw < m.node.pcie_bw);
+    }
+
+    #[test]
+    fn saturation_rolloff_matches_paper_claim() {
+        // §9.1: single GPU at the 256-GPU local volume (32³·256/256 → CB
+        // 16384) is ~2× slower than at the 16-GPU local volume (CB 262144).
+        let m = edge();
+        let slow = m.eff_bandwidth(16_384);
+        let fast = m.eff_bandwidth(262_144);
+        let ratio = fast / slow;
+        assert!((1.6..=2.4).contains(&ratio), "saturation ratio {ratio}");
+    }
+
+    #[test]
+    fn reduction_time_grows_logarithmically() {
+        let m = edge();
+        let t2 = m.reduction_time(2);
+        let t256 = m.reduction_time(256);
+        assert!(t256 > t2);
+        // 256 ranks = 8 doublings → 16 hops.
+        assert!((t256 - m.reduction_overhead - 16.0 * m.reduction_hop_latency).abs() < 1e-12);
+        assert_eq!(m.reduction_time(1), m.reduction_overhead);
+    }
+
+    #[test]
+    fn pcie_is_shared() {
+        let m = edge();
+        assert!((m.pcie_bw_per_gpu() - m.node.pcie_bw / 2.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,458 @@
+//! Discrete-event simulation of the 9-stream dslash schedule (Fig. 4).
+//!
+//! One "GPU" executes kernels on a single in-order kernel stream; each
+//! partitioned dimension has two communication pipelines (backward /
+//! forward) that move a ghost message through D2H over the shared PCI-E
+//! bus, a pinned→pageable host copy, the MPI transfer, a second host copy
+//! and the H2D upload. The schedule is the paper's:
+//!
+//! 1. gather kernels for every partitioned dimension launch first (the T
+//!    face is contiguous and needs no gather, §6.1);
+//! 2. the interior kernel runs next, overlapping all communication;
+//! 3. exterior kernels run sequentially, each blocking on its
+//!    dimension's messages; corner sites force the sequential order
+//!    (§6.2).
+//!
+//! Resources (`gpu`, `pcie`, `host`, `nic`) are modeled as serially
+//! reusable; contention emerges naturally when several pipelines are in
+//! flight — which is exactly the regime Figs. 5–6 probe.
+
+use crate::cost::{OpConfig, PartitionGeometry, Precision};
+use crate::model::ClusterModel;
+use lqcd_lattice::NDIM;
+use serde::{Deserialize, Serialize};
+
+/// One scheduled interval, for timeline rendering.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TimelineEntry {
+    /// Stream label, mirroring Fig. 4 ("kernels", "Z-forward", ...).
+    pub stream: String,
+    /// Task label ("gather Z+", "interior", "MPI", ...).
+    pub task: String,
+    /// Start time, s.
+    pub start: f64,
+    /// End time, s.
+    pub end: f64,
+}
+
+/// The outcome of one simulated dslash application (one parity).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DslashTiming {
+    /// Wall-clock time of the whole application, s.
+    pub total: f64,
+    /// When the interior kernel finished, s.
+    pub interior_end: f64,
+    /// Time the GPU kernel stream sat idle waiting for communication, s.
+    pub gpu_idle: f64,
+    /// Aggregate bytes shipped over the interconnect (all dims/dirs), B.
+    pub nic_bytes: f64,
+    /// Full task timeline for visualization.
+    pub timeline: Vec<TimelineEntry>,
+}
+
+const DIM_NAMES: [&str; 4] = ["X", "Y", "Z", "T"];
+
+/// Kernel execution time: bandwidth-bound with small-volume saturation,
+/// floored by the flop-rate limit, plus launch overhead.
+fn kernel_time(
+    model: &ClusterModel,
+    sites_cb: usize,
+    bytes: f64,
+    flops: f64,
+    precision: Precision,
+) -> f64 {
+    let peak = match precision {
+        Precision::Double => model.gpu.peak_dp,
+        // Half computes in f32 registers.
+        Precision::Single | Precision::Half => model.gpu.peak_sp,
+    };
+    let mut bw = model.eff_bandwidth(sites_cb);
+    if precision == Precision::Half {
+        bw *= model.gpu.half_efficiency;
+    }
+    (bytes / bw).max(flops / peak) + model.gpu.launch_overhead
+}
+
+/// Simulate one dslash application (one parity of the source) on the
+/// given partition geometry.
+pub fn simulate_dslash(
+    model: &ClusterModel,
+    geo: &PartitionGeometry,
+    cfg: &OpConfig,
+) -> DslashTiming {
+    let mut timeline = Vec::new();
+    let push = |timeline: &mut Vec<TimelineEntry>, stream: &str, task: String, s: f64, e: f64| {
+        timeline.push(TimelineEntry { stream: stream.to_string(), task, start: s, end: e });
+    };
+
+    // Serially-reusable resources: next-free timestamps.
+    let mut gpu_free = 0.0f64;
+    let mut pcie_free = 0.0f64;
+    let mut host_free = 0.0f64;
+    let mut nic_free = 0.0f64;
+    let mut gpu_busy = 0.0f64;
+
+    let depth = cfg.depth();
+    let part_dims: Vec<usize> = (0..NDIM).filter(|&d| geo.partitioned[d]).collect();
+
+    // --- 1. Gather kernels (both directions per dim; none for T). ---
+    // Gather end time per (dim, dir).
+    let mut gather_end = [[0.0f64; 2]; NDIM];
+    for &d in &part_dims {
+        for dir in 0..2 {
+            if d == 3 {
+                // T face contiguous: no gather kernel.
+                gather_end[d][dir] = 0.0;
+                continue;
+            }
+            let ghost_sites = depth * geo.face_vol_cb[d];
+            // Read face spinors + write the packed buffer.
+            let bytes =
+                2.0 * ghost_sites as f64 * cfg.ghost_reals_per_site() * cfg.precision.bytes();
+            let t = kernel_time(model, ghost_sites, bytes, 0.0, cfg.precision);
+            let start = gpu_free;
+            gpu_free += t;
+            gpu_busy += t;
+            gather_end[d][dir] = gpu_free;
+            push(
+                &mut timeline,
+                "kernels",
+                format!("gather {}{}", DIM_NAMES[d], if dir == 0 { "-" } else { "+" }),
+                start,
+                gpu_free,
+            );
+        }
+    }
+
+    // --- 2. Interior kernel. ---
+    let interior_bytes = geo.vol_cb as f64 * cfg.bytes_per_site();
+    let interior_flops = geo.vol_cb as f64 * cfg.flops_per_site();
+    let t_int = kernel_time(model, geo.vol_cb, interior_bytes, interior_flops, cfg.precision);
+    let int_start = gpu_free;
+    gpu_free += t_int;
+    gpu_busy += t_int;
+    let interior_end = gpu_free;
+    push(&mut timeline, "kernels", "interior".into(), int_start, interior_end);
+
+    // --- 3. Communication pipelines per (dim, dir). ---
+    let mut nic_bytes = 0.0f64;
+    let mut comm_done = [[0.0f64; 2]; NDIM];
+    let pcie_bw = model.pcie_bw_per_gpu();
+    // Serve pipelines in readiness order: the T faces need no gather and
+    // hit the bus first (paper §6.1).
+    let mut order: Vec<(usize, usize)> =
+        part_dims.iter().flat_map(|&d| [(d, 0usize), (d, 1usize)]).collect();
+    order.sort_by(|a, b| gather_end[a.0][a.1].total_cmp(&gather_end[b.0][b.1]));
+    for (d, dir) in order {
+        {
+            let stream = format!("{}-{}", DIM_NAMES[d], if dir == 0 { "backward" } else { "forward" });
+            let msg = {
+                // One parity's ghost message for this (dim, dir).
+                let face_cb = geo.face_vol_cb[d] as f64;
+                face_cb * depth as f64 * cfg.ghost_site_bytes()
+            };
+            nic_bytes += msg;
+            let sync = model.node.stage_sync_latency;
+            let mut t = gather_end[d][dir];
+            // D2H over the shared PCI-E bus.
+            let s = t.max(pcie_free) + sync;
+            let e = s + model.node.pcie_latency + msg / pcie_bw;
+            pcie_free = e;
+            push(&mut timeline, &stream, "D2H".into(), s, e);
+            t = e;
+            // Pinned → pageable host copy (skipped under GPU-Direct,
+            // §6.3's anticipated improvement).
+            if !model.node.gpu_direct {
+                let s = t.max(host_free) + sync;
+                let e = s + msg / model.node.host_memcpy_bw;
+                host_free = e;
+                push(&mut timeline, &stream, "memcpy".into(), s, e);
+                t = e;
+            }
+            // MPI transfer (send + matching receive modeled symmetric).
+            let s = t.max(nic_free) + sync;
+            let e = s + model.node.nic_latency + msg / model.node.nic_bw;
+            nic_free = e;
+            push(&mut timeline, &stream, "MPI".into(), s, e);
+            t = e;
+            // Pageable → pinned copy on the receive side.
+            if !model.node.gpu_direct {
+                let s = t.max(host_free) + sync;
+                let e = s + msg / model.node.host_memcpy_bw;
+                host_free = e;
+                push(&mut timeline, &stream, "memcpy".into(), s, e);
+                t = e;
+            }
+            // H2D upload.
+            let s = t.max(pcie_free) + sync;
+            let e = s + model.node.pcie_latency + msg / pcie_bw;
+            pcie_free = e;
+            push(&mut timeline, &stream, "H2D".into(), s, e);
+            comm_done[d][dir] = e;
+        }
+    }
+
+    // --- 4. Exterior kernels, sequential, each blocking on its dim. ---
+    for &d in &part_dims {
+        let ready = comm_done[d][0].max(comm_done[d][1]);
+        let sites = 2 * depth * geo.face_vol_cb[d];
+        // Per ghost hop: a link, the ghost (half-)spinor, and the
+        // read-modify-write of the destination spinor.
+        let hops = match cfg.kind {
+            crate::cost::OperatorKind::Asqtad => 2.0 * 4.0 * geo.face_vol_cb[d] as f64,
+            _ => 2.0 * geo.face_vol_cb[d] as f64,
+        };
+        let b = cfg.precision.bytes();
+        let bytes = hops * (cfg.recon.reals() + cfg.ghost_reals_per_site()) * b
+            + sites as f64 * 2.0 * cfg.spinor_reals() * b;
+        let flops = hops / 8.0 * cfg.flops_per_site() * 0.5;
+        let t = kernel_time(model, sites.max(1), bytes, flops, cfg.precision);
+        let start = gpu_free.max(ready);
+        let end = start + t;
+        gpu_free = end;
+        gpu_busy += t;
+        push(&mut timeline, "kernels", format!("exterior {}", DIM_NAMES[d]), start, end);
+    }
+
+    let total = gpu_free;
+    DslashTiming { total, interior_end, gpu_idle: total - gpu_busy, nic_bytes, timeline }
+}
+
+/// Time of the *Dirichlet* (communication-free) dslash: the Schwarz block
+/// operator — interior work only, full local volume.
+pub fn dirichlet_dslash_time(model: &ClusterModel, geo: &PartitionGeometry, cfg: &OpConfig) -> f64 {
+    let bytes = geo.vol_cb as f64 * cfg.bytes_per_site();
+    let flops = geo.vol_cb as f64 * cfg.flops_per_site();
+    kernel_time(model, geo.vol_cb, bytes, flops, cfg.precision)
+}
+
+/// Time to stream `passes` full vectors through device memory (BLAS-1
+/// costing).
+pub fn blas_time(
+    model: &ClusterModel,
+    geo: &PartitionGeometry,
+    cfg: &OpConfig,
+    passes: f64,
+) -> f64 {
+    let bytes = passes * geo.vol_cb as f64 * cfg.spinor_reals() * cfg.precision.bytes();
+    bytes / model.eff_bandwidth(geo.vol_cb) + model.gpu.launch_overhead
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{OperatorKind, Recon};
+    use crate::model::edge;
+    use lqcd_lattice::{Dims, PartitionScheme};
+
+    fn wilson_cfg(p: Precision) -> OpConfig {
+        OpConfig { kind: OperatorKind::WilsonClover, precision: p, recon: Recon::Twelve }
+    }
+
+    fn geo(ranks: usize) -> PartitionGeometry {
+        let grid = PartitionScheme::XYZT.grid(Dims::symm(32, 256), ranks).unwrap();
+        PartitionGeometry::of(&grid)
+    }
+
+    #[test]
+    fn single_rank_has_no_comm() {
+        let m = edge();
+        let g = geo(1);
+        let t = simulate_dslash(&m, &g, &wilson_cfg(Precision::Single));
+        assert_eq!(t.nic_bytes, 0.0);
+        assert!(t.gpu_idle.abs() < 1e-12);
+        assert_eq!(t.total, t.interior_end);
+        // Single GPU at full volume: Gflops in a plausible band.
+        let gflops = g.vol_cb as f64 * wilson_cfg(Precision::Single).flops_per_site() / t.total
+            / 1e9;
+        assert!((80.0..200.0).contains(&gflops), "single-GPU SP dslash {gflops} Gflops");
+    }
+
+    #[test]
+    fn strong_scaling_degrades_per_gpu_throughput() {
+        let m = edge();
+        let cfg = wilson_cfg(Precision::Single);
+        let mut last_per_gpu = f64::INFINITY;
+        for ranks in [8, 32, 128, 256] {
+            let g = geo(ranks);
+            let t = simulate_dslash(&m, &g, &cfg);
+            let per_gpu = g.vol_cb as f64 * cfg.flops_per_site() / t.total / 1e9;
+            assert!(
+                per_gpu < last_per_gpu,
+                "per-GPU Gflops should fall with rank count ({ranks}: {per_gpu})"
+            );
+            last_per_gpu = per_gpu;
+        }
+    }
+
+    #[test]
+    fn half_precision_advantage_shrinks_with_scale() {
+        // Fig. 5's observation: HP beats SP by ~2× at small scale, but the
+        // gap narrows once communication dominates.
+        let m = edge();
+        let sp = wilson_cfg(Precision::Single);
+        let hp = wilson_cfg(Precision::Half);
+        let ratio_at = |ranks: usize| {
+            let g = geo(ranks);
+            simulate_dslash(&m, &g, &sp).total / simulate_dslash(&m, &g, &hp).total
+        };
+        let small = ratio_at(8);
+        let large = ratio_at(256);
+        assert!(small > 1.5, "HP should be ≫ SP at small scale, ratio {small}");
+        assert!(large < small, "HP advantage must shrink at scale: {large} vs {small}");
+    }
+
+    #[test]
+    fn more_partitioned_dims_less_surface_but_more_pipelines() {
+        // At 256 GPUs, XYZT has smaller per-dim faces than ZT (which may
+        // not even be constructible) — compare at 64 where both exist on
+        // the staggered volume.
+        let m = edge();
+        let v = Dims::symm(64, 192);
+        let cfg = OpConfig {
+            kind: OperatorKind::Asqtad,
+            precision: Precision::Single,
+            recon: Recon::None,
+        };
+        let zt = PartitionGeometry::of(&PartitionScheme::ZT.grid(v, 64).unwrap());
+        let xyzt = PartitionGeometry::of(&PartitionScheme::XYZT.grid(v, 64).unwrap());
+        let t_zt = simulate_dslash(&m, &zt, &cfg);
+        let t_xyzt = simulate_dslash(&m, &xyzt, &cfg);
+        // Total surface shipped is smaller for the balanced split.
+        assert!(t_xyzt.nic_bytes < t_zt.nic_bytes);
+    }
+
+    #[test]
+    fn timeline_is_consistent() {
+        let m = edge();
+        let g = geo(64);
+        let t = simulate_dslash(&m, &g, &wilson_cfg(Precision::Single));
+        for e in &t.timeline {
+            assert!(e.end >= e.start, "negative interval in {e:?}");
+            assert!(e.end <= t.total + 1e-12, "task past total in {e:?}");
+        }
+        // Kernel-stream entries never overlap.
+        let mut kernel_spans: Vec<(f64, f64)> = t
+            .timeline
+            .iter()
+            .filter(|e| e.stream == "kernels")
+            .map(|e| (e.start, e.end))
+            .collect();
+        kernel_spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for w in kernel_spans.windows(2) {
+            assert!(w[0].1 <= w[1].0 + 1e-15, "kernel overlap: {w:?}");
+        }
+        // Exterior kernels come after the interior.
+        let interior_end = t.interior_end;
+        for e in &t.timeline {
+            if e.task.starts_with("exterior") {
+                assert!(e.start >= interior_end - 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn dirichlet_time_has_no_comm_dependency() {
+        let m = edge();
+        let cfg = wilson_cfg(Precision::Half);
+        let g = geo(256);
+        let t_d = dirichlet_dslash_time(&m, &g, &cfg);
+        let t_full = simulate_dslash(&m, &g, &cfg).total;
+        assert!(t_d < t_full, "Dirichlet {t_d} must undercut full {t_full}");
+    }
+}
+
+#[cfg(test)]
+mod traffic_tests {
+    use super::*;
+    use crate::cost::{OpConfig, OperatorKind, PartitionGeometry, Recon};
+    use crate::model::{edge, edge_gpu_direct};
+    use lqcd_lattice::{Dims, PartitionScheme};
+
+    /// Exact wire-byte accounting: the simulator's NIC total must equal
+    /// the geometry-derived sum over partitioned dimensions — 2 messages
+    /// per dim, each depth × face_cb ghost sites at the operator's wire
+    /// width. Pins the model's inputs to the real lattice code.
+    #[test]
+    fn nic_bytes_match_geometry_exactly() {
+        let m = edge();
+        for (kind, vol, recon) in [
+            (OperatorKind::WilsonClover, Dims::symm(32, 256), Recon::Twelve),
+            (OperatorKind::Asqtad, Dims::symm(64, 192), Recon::None),
+        ] {
+            for prec in [Precision::Double, Precision::Single, Precision::Half] {
+                let cfg = OpConfig { kind, precision: prec, recon };
+                let grid = PartitionScheme::XYZT.grid(vol, 64).unwrap();
+                let geo = PartitionGeometry::of(&grid);
+                let t = simulate_dslash(&m, &geo, &cfg);
+                let want: f64 = (0..NDIM)
+                    .filter(|&d| geo.partitioned[d])
+                    .map(|d| {
+                        2.0 * geo.face_vol_cb[d] as f64
+                            * cfg.depth() as f64
+                            * cfg.ghost_site_bytes()
+                    })
+                    .sum();
+                assert!(
+                    (t.nic_bytes - want).abs() < 1e-6,
+                    "{kind:?}/{prec:?}: simulated {} vs geometric {want}",
+                    t.nic_bytes
+                );
+            }
+        }
+    }
+
+    /// GPU-Direct strictly removes pipeline stages: fewer timeline tasks,
+    /// never more total time, and zero host-memcpy entries.
+    #[test]
+    fn gpu_direct_removes_host_copies() {
+        let cfg = OpConfig {
+            kind: OperatorKind::WilsonClover,
+            precision: Precision::Single,
+            recon: Recon::Twelve,
+        };
+        let geo = PartitionGeometry::of(
+            &PartitionScheme::XYZT.grid(Dims::symm(32, 256), 128).unwrap(),
+        );
+        let base = simulate_dslash(&edge(), &geo, &cfg);
+        let direct = simulate_dslash(&edge_gpu_direct(), &geo, &cfg);
+        let memcpys = |t: &DslashTiming| {
+            t.timeline.iter().filter(|e| e.task == "memcpy").count()
+        };
+        assert!(memcpys(&base) > 0);
+        assert_eq!(memcpys(&direct), 0, "GPU-Direct must eliminate host copies");
+        assert!(direct.total < base.total);
+        assert_eq!(direct.nic_bytes, base.nic_bytes, "wire traffic unchanged");
+    }
+
+    /// Staggered faces ship 3 layers of 6-real color vectors vs Wilson's
+    /// single layer of 12-real half spinors: exactly 1.5× the wire bytes
+    /// per face site at equal precision — and both operators launch the
+    /// same number of gather kernels (two per non-T partitioned dim).
+    #[test]
+    fn naik_depth_wire_width_is_exactly_1p5x_wilson() {
+        let m = edge();
+        let vol = Dims::symm(32, 64);
+        let grid = PartitionScheme::YZT.grid(vol, 8).unwrap();
+        let geo = PartitionGeometry::of(&grid);
+        let wilson = OpConfig {
+            kind: OperatorKind::Wilson,
+            precision: Precision::Single,
+            recon: Recon::None,
+        };
+        let asqtad = OpConfig {
+            kind: OperatorKind::Asqtad,
+            precision: Precision::Single,
+            recon: Recon::None,
+        };
+        let per_face = |cfg: &OpConfig| cfg.depth() as f64 * cfg.ghost_site_bytes();
+        assert_eq!(per_face(&asqtad) / per_face(&wilson), 1.5);
+        let tw = simulate_dslash(&m, &geo, &wilson);
+        let ta = simulate_dslash(&m, &geo, &asqtad);
+        assert!((ta.nic_bytes / tw.nic_bytes - 1.5).abs() < 1e-12);
+        let gathers = |t: &DslashTiming| {
+            t.timeline.iter().filter(|e| e.task.starts_with("gather")).count()
+        };
+        assert_eq!(gathers(&tw), gathers(&ta));
+    }
+}

@@ -1,0 +1,390 @@
+//! Figure-series generators: one function per evaluation figure.
+//!
+//! Each returns serde-serializable rows so the bench binaries can print
+//! the paper-style table *and* emit machine-checkable JSON for
+//! EXPERIMENTS.md regression.
+
+use crate::capability::{bgp, sustained_tflops, xt4, xt5, CpuMachine};
+use crate::cost::{OpConfig, OperatorKind, PartitionGeometry, Precision, Recon};
+use crate::model::ClusterModel;
+use crate::solver_model::{
+    bicgstab_solve, gcr_dd_solve, multishift_solve, StaggeredIterModel, WilsonIterModel,
+};
+use crate::streams::simulate_dslash;
+use lqcd_lattice::{Dims, PartitionScheme};
+use lqcd_util::Result;
+use serde::{Deserialize, Serialize};
+
+/// The paper's Wilson-clover volume (Figs. 5, 7, 8, 9).
+pub fn wilson_volume() -> Dims {
+    Dims::symm(32, 256)
+}
+
+/// The paper's asqtad volume (Figs. 6, 10).
+pub fn staggered_volume() -> Dims {
+    Dims::symm(64, 192)
+}
+
+/// One point of a per-GPU throughput curve.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ThroughputPoint {
+    /// GPU count.
+    pub gpus: usize,
+    /// Partitioning label.
+    pub scheme: String,
+    /// Precision label.
+    pub precision: String,
+    /// Gflops per GPU.
+    pub gflops_per_gpu: f64,
+    /// Aggregate Tflops.
+    pub total_tflops: f64,
+}
+
+fn dslash_point(
+    model: &ClusterModel,
+    volume: Dims,
+    scheme: PartitionScheme,
+    gpus: usize,
+    cfg: &OpConfig,
+) -> Result<ThroughputPoint> {
+    let grid = scheme.grid(volume, gpus)?;
+    let geo = PartitionGeometry::of(&grid);
+    let t = simulate_dslash(model, &geo, cfg);
+    let flops = geo.vol_cb as f64 * cfg.nominal_flops_per_site();
+    let gflops = flops / t.total / 1e9;
+    Ok(ThroughputPoint {
+        gpus,
+        scheme: scheme.label().into(),
+        precision: cfg.precision.label().into(),
+        gflops_per_gpu: gflops,
+        total_tflops: gflops * gpus as f64 / 1e3,
+    })
+}
+
+/// Fig. 5: Wilson-clover dslash strong scaling, SP & HP, 12-reconstruct,
+/// V = 32³×256, 8→256 GPUs.
+pub fn fig5(model: &ClusterModel) -> Result<Vec<ThroughputPoint>> {
+    let mut out = Vec::new();
+    for &p in &[Precision::Single, Precision::Half] {
+        let cfg = OpConfig { kind: OperatorKind::WilsonClover, precision: p, recon: Recon::Twelve };
+        for gpus in [8, 16, 32, 64, 128, 256] {
+            out.push(dslash_point(model, wilson_volume(), PartitionScheme::XYZT, gpus, &cfg)?);
+        }
+    }
+    Ok(out)
+}
+
+/// Fig. 6: asqtad dslash strong scaling, DP & SP, ZT vs YZT vs XYZT,
+/// V = 64³×192, no reconstruction, 32→256 GPUs.
+pub fn fig6(model: &ClusterModel) -> Result<Vec<ThroughputPoint>> {
+    let mut out = Vec::new();
+    for scheme in [PartitionScheme::ZT, PartitionScheme::YZT, PartitionScheme::XYZT] {
+        for &p in &[Precision::Double, Precision::Single] {
+            let cfg = OpConfig { kind: OperatorKind::Asqtad, precision: p, recon: Recon::None };
+            for gpus in [32, 64, 128, 256] {
+                match dslash_point(model, staggered_volume(), scheme, gpus, &cfg) {
+                    Ok(pt) => out.push(pt),
+                    // Some (scheme, count) pairs don't factor — the paper
+                    // likewise only shows constructible points.
+                    Err(_) => continue,
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Weak scaling: per-GPU throughput at *fixed local volume* (the §5
+/// contrast case — the predecessor work showed "excellent (artificial)
+/// weak scaling performance" because the local problem, and hence the
+/// surface-to-volume ratio, never changes as GPUs are added).
+pub fn weak_scaling(
+    model: &ClusterModel,
+    local: Dims,
+    scheme: PartitionScheme,
+    gpu_counts: &[usize],
+    cfg: &OpConfig,
+) -> Result<Vec<ThroughputPoint>> {
+    let mut out = Vec::new();
+    for &gpus in gpu_counts {
+        // Grow the global volume with the GPU count so the per-rank
+        // volume stays constant (powers of two along the scheme's dims).
+        let global = {
+            let mut g = local.0;
+            let mut remaining = gpus;
+            let dims = scheme.dims();
+            let mut i = 0;
+            while remaining > 1 {
+                let d = dims[i % dims.len()];
+                g[d] *= 2;
+                remaining /= 2;
+                i += 1;
+            }
+            Dims(g)
+        };
+        let grid = scheme.grid(global, gpus)?;
+        let geo = PartitionGeometry::of(&grid);
+        debug_assert_eq!(geo.vol_cb, local.volume() / 2, "local volume must stay fixed");
+        let t = simulate_dslash(model, &geo, cfg);
+        let flops = geo.vol_cb as f64 * cfg.nominal_flops_per_site();
+        let gflops = flops / t.total / 1e9;
+        out.push(ThroughputPoint {
+            gpus,
+            scheme: scheme.label().into(),
+            precision: cfg.precision.label().into(),
+            gflops_per_gpu: gflops,
+            total_tflops: gflops * gpus as f64 / 1e3,
+        });
+    }
+    Ok(out)
+}
+
+/// One point of the Fig. 7/8 solver comparison.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SolverPoint {
+    /// GPU count.
+    pub gpus: usize,
+    /// Solver label ("BiCGstab" / "GCR-DD").
+    pub solver: String,
+    /// Sustained Tflops over the solve.
+    pub tflops: f64,
+    /// Time to solution, s.
+    pub time_to_solution: f64,
+    /// Iterations.
+    pub iterations: f64,
+}
+
+/// Figs. 7 & 8: Wilson-clover mixed-precision BiCGstab vs GCR-DD,
+/// V = 32³×256, 10 MR steps.
+pub fn fig7_fig8(model: &ClusterModel, iters: &WilsonIterModel) -> Result<Vec<SolverPoint>> {
+    let sp = OpConfig {
+        kind: OperatorKind::WilsonClover,
+        precision: Precision::Single,
+        recon: Recon::Twelve,
+    };
+    let hp = OpConfig { precision: Precision::Half, ..sp };
+    let mut out = Vec::new();
+    for gpus in [4usize, 8, 16, 32, 64, 128, 256] {
+        let grid = PartitionScheme::XYZT.grid(wilson_volume(), gpus)?;
+        let geo = PartitionGeometry::of(&grid);
+        // BiCGstab: double-single, bulk iterations at SP.
+        let b = bicgstab_solve(model, &geo, &sp, iters.bicgstab_iters);
+        out.push(SolverPoint {
+            gpus,
+            solver: "BiCGstab".into(),
+            tflops: b.sustained_flops / 1e12,
+            time_to_solution: b.time_to_solution,
+            iterations: b.iterations,
+        });
+        // GCR-DD: single-half-half.
+        let g = gcr_dd_solve(model, &geo, &sp, &hp, iters);
+        out.push(SolverPoint {
+            gpus,
+            solver: "GCR-DD".into(),
+            tflops: g.sustained_flops / 1e12,
+            time_to_solution: g.time_to_solution,
+            iterations: g.iterations,
+        });
+    }
+    Ok(out)
+}
+
+/// One point of the Fig. 9 capability-machine context plot.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CapabilityPoint {
+    /// Machine name.
+    pub machine: String,
+    /// Solver description.
+    pub solver: String,
+    /// Core count.
+    pub cores: usize,
+    /// Sustained Tflops in the solver.
+    pub tflops: f64,
+}
+
+/// Fig. 9: BG/P, XT4, XT5 strong scaling on the same 32³×256 volume.
+pub fn fig9() -> Vec<CapabilityPoint> {
+    let volume = wilson_volume().volume() as f64;
+    let mut out = Vec::new();
+    let machines: [(CpuMachine, &[usize]); 3] = [
+        (bgp(), &[4096, 8192, 16_384, 24_576, 32_768]),
+        (xt4(), &[4096, 8192, 12_288, 16_384]),
+        (xt5(), &[8192, 16_384, 24_576, 32_768]),
+    ];
+    for (m, cores_list) in machines {
+        for &cores in cores_list {
+            out.push(CapabilityPoint {
+                machine: m.name.clone(),
+                solver: m.solver.clone(),
+                cores,
+                tflops: sustained_tflops(&m, cores, volume),
+            });
+        }
+    }
+    out
+}
+
+/// Fig. 10: asqtad mixed-precision multi-shift solver, ZT/YZT/XYZT,
+/// V = 64³×192, total Tflops at 64→256 GPUs.
+pub fn fig10(model: &ClusterModel, iters: &StaggeredIterModel) -> Result<Vec<ThroughputPoint>> {
+    let sp = OpConfig { kind: OperatorKind::Asqtad, precision: Precision::Single, recon: Recon::None };
+    let dp = OpConfig { precision: Precision::Double, ..sp };
+    let mut out = Vec::new();
+    for scheme in [PartitionScheme::ZT, PartitionScheme::YZT, PartitionScheme::XYZT] {
+        for gpus in [64usize, 128, 256] {
+            let Ok(grid) = scheme.grid(staggered_volume(), gpus) else { continue };
+            let geo = PartitionGeometry::of(&grid);
+            let s = multishift_solve(model, &geo, &sp, &dp, iters);
+            out.push(ThroughputPoint {
+                gpus,
+                scheme: scheme.label().into(),
+                precision: "mixed".into(),
+                gflops_per_gpu: s.sustained_flops / gpus as f64 / 1e9,
+                total_tflops: s.sustained_flops / 1e12,
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::edge;
+
+    #[test]
+    fn fig5_shape_matches_paper() {
+        let pts = fig5(&edge()).unwrap();
+        let sp: Vec<&ThroughputPoint> = pts.iter().filter(|p| p.precision == "SP").collect();
+        let hp: Vec<&ThroughputPoint> = pts.iter().filter(|p| p.precision == "HP").collect();
+        // Monotone decline per GPU.
+        for w in sp.windows(2) {
+            assert!(w[1].gflops_per_gpu < w[0].gflops_per_gpu);
+        }
+        // HP > SP everywhere, with a shrinking ratio.
+        let first_ratio = hp[0].gflops_per_gpu / sp[0].gflops_per_gpu;
+        let last_ratio = hp[5].gflops_per_gpu / sp[5].gflops_per_gpu;
+        assert!(first_ratio > 1.5, "HP/SP at 8 GPUs: {first_ratio}");
+        assert!(last_ratio < first_ratio, "HP advantage must diminish (Fig. 5)");
+        // Scale anchor: SP at 8 GPUs lands near the paper's ≈ 100–150
+        // Gflops/GPU; at 256 GPUs well below 64.
+        assert!((80.0..190.0).contains(&sp[0].gflops_per_gpu), "{}", sp[0].gflops_per_gpu);
+        assert!(sp[5].gflops_per_gpu < 64.0);
+    }
+
+    #[test]
+    fn fig6_xyzt_wins_at_256_but_not_at_32() {
+        let pts = fig6(&edge()).unwrap();
+        let get = |scheme: &str, gpus: usize, prec: &str| {
+            pts.iter()
+                .find(|p| p.scheme == scheme && p.gpus == gpus && p.precision == prec)
+                .map(|p| p.gflops_per_gpu)
+        };
+        // At 256 GPUs the best surface-to-volume ratio wins (paper §7.3).
+        if let (Some(xyzt), Some(zt)) = (get("XYZT", 256, "SP"), get("ZT", 256, "SP")) {
+            assert!(xyzt > zt, "XYZT {xyzt} must beat ZT {zt} at 256 GPUs");
+        } else {
+            // ZT must at least exist at 64.
+            let (xyzt, zt) = (get("XYZT", 256, "SP").unwrap(), get("ZT", 64, "SP").unwrap());
+            assert!(xyzt > 0.0 && zt > 0.0);
+        }
+        // SP beats DP at like-for-like points.
+        for gpus in [64usize, 256] {
+            if let (Some(sp), Some(dp)) = (get("XYZT", gpus, "SP"), get("XYZT", gpus, "DP")) {
+                assert!(sp > dp);
+            }
+        }
+    }
+
+    #[test]
+    fn fig7_fig8_shape_matches_paper() {
+        let pts = fig7_fig8(&edge(), &WilsonIterModel::default()).unwrap();
+        let tts = |solver: &str, gpus: usize| {
+            pts.iter()
+                .find(|p| p.solver == solver && p.gpus == gpus)
+                .map(|p| p.time_to_solution)
+                .unwrap()
+        };
+        // At 32 GPUs BiCGstab is superior or comparable.
+        assert!(tts("BiCGstab", 32) < tts("GCR-DD", 32) * 1.3);
+        // Past 32, GCR-DD wins — the paper reports 1.52×/1.63×/1.64× at
+        // 64/128/256; the model lands in the same band with a slightly
+        // steeper trend.
+        for gpus in [64usize, 128, 256] {
+            let ratio = tts("BiCGstab", gpus) / tts("GCR-DD", gpus);
+            assert!(
+                (1.2..2.2).contains(&ratio),
+                "at {gpus} GPUs improvement {ratio} should be near the paper's 1.5–1.64×"
+            );
+        }
+        // And the win factor grows (or at least does not shrink) with
+        // scale, as in Fig. 8.
+        let r64 = tts("BiCGstab", 64) / tts("GCR-DD", 64);
+        let r256 = tts("BiCGstab", 256) / tts("GCR-DD", 256);
+        assert!(r256 >= r64);
+        // GCR-DD exceeds 10 Tflops at ≥128 GPUs (§9.1).
+        let tf = |gpus: usize| {
+            pts.iter().find(|p| p.solver == "GCR-DD" && p.gpus == gpus).unwrap().tflops
+        };
+        assert!(tf(128) > 8.0, "GCR-DD at 128: {} Tflops", tf(128));
+        assert!(tf(256) > 10.0, "GCR-DD at 256: {} Tflops", tf(256));
+    }
+
+    #[test]
+    fn fig9_band() {
+        let pts = fig9();
+        let max = pts.iter().map(|p| p.tflops).fold(0.0f64, f64::max);
+        assert!((10.0..20.0).contains(&max), "peak capability {max} Tflops");
+        assert!(pts.iter().all(|p| p.tflops > 0.5));
+    }
+
+    #[test]
+    fn weak_scaling_is_nearly_flat_while_strong_collapses() {
+        let model = edge();
+        let cfg = crate::cost::OpConfig {
+            kind: crate::cost::OperatorKind::WilsonClover,
+            precision: crate::cost::Precision::Single,
+            recon: crate::cost::Recon::Twelve,
+        };
+        // T-only weak scaling, as the predecessor work [4] ran it: once
+        // the first cut exists, the per-rank surface never changes, so
+        // per-GPU throughput is flat ("excellent (artificial) weak
+        // scaling performance", §5).
+        let weak = weak_scaling(
+            &model,
+            Dims([16, 16, 16, 32]),
+            PartitionScheme::T,
+            &[2, 4, 8, 16, 32],
+            &cfg,
+        )
+        .unwrap();
+        let w0 = weak[0].gflops_per_gpu;
+        let w_last = weak.last().unwrap().gflops_per_gpu;
+        assert!(
+            (w_last - w0).abs() < 0.05 * w0,
+            "T-only weak scaling should be flat: {w0} -> {w_last}"
+        );
+        // ... while strong scaling at the same end volume collapses hard.
+        let strong = fig5(&model).unwrap();
+        let s8 = strong.iter().find(|p| p.precision == "SP" && p.gpus == 8).unwrap();
+        let s256 = strong.iter().find(|p| p.precision == "SP" && p.gpus == 256).unwrap();
+        assert!(s256.gflops_per_gpu < 0.35 * s8.gflops_per_gpu);
+    }
+
+    #[test]
+    fn fig10_shape_matches_paper() {
+        let pts = fig10(&edge(), &StaggeredIterModel::default()).unwrap();
+        let xyzt: Vec<&ThroughputPoint> =
+            pts.iter().filter(|p| p.scheme == "XYZT").collect();
+        assert_eq!(xyzt.len(), 3);
+        // 64→256 speedup in total Tflops near 2.56×.
+        let speedup = xyzt[2].total_tflops / xyzt[0].total_tflops;
+        assert!((1.9..3.3).contains(&speedup), "64→256 speedup {speedup}");
+        // Absolute scale: ~5.5 Tflops at 256 GPUs mixed precision.
+        assert!(
+            (3.0..9.0).contains(&xyzt[2].total_tflops),
+            "256-GPU total {} Tflops",
+            xyzt[2].total_tflops
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Conjugate gradients for Hermitian positive-definite systems.
+
+use crate::space::{SolveStats, SolverSpace};
+use lqcd_util::{Error, Result};
+
+/// Solve `A x = b` by CG to relative residual `tol`, starting from the
+/// provided `x` (which may be nonzero). Fails with
+/// [`Error::NoConvergence`] after `maxiter` iterations.
+pub fn cg<S: SolverSpace>(
+    space: &mut S,
+    x: &mut S::V,
+    b: &S::V,
+    tol: f64,
+    maxiter: usize,
+) -> Result<SolveStats> {
+    let mut stats = SolveStats::new();
+    let bnorm2 = space.norm2(b)?;
+    if bnorm2 == 0.0 {
+        space.zero(x);
+        stats.converged = true;
+        stats.residual = 0.0;
+        return Ok(stats);
+    }
+    // r = b − A x.
+    let mut r = space.alloc();
+    space.matvec(&mut r, x)?;
+    stats.matvecs += 1;
+    space.xpay(b, -1.0, &mut r);
+    let mut p = space.alloc();
+    space.copy(&mut p, &r);
+    let mut ap = space.alloc();
+    let mut rr = space.norm2(&r)?;
+    let target2 = tol * tol * bnorm2;
+    while stats.iterations < maxiter {
+        if rr <= target2 {
+            stats.converged = true;
+            break;
+        }
+        space.matvec(&mut ap, &mut p)?;
+        stats.matvecs += 1;
+        let pap = space.dot(&p, &ap)?.re;
+        if pap <= 0.0 {
+            return Err(Error::Breakdown {
+                solver: "cg",
+                detail: format!("⟨p, Ap⟩ = {pap} not positive (operator not HPD?)"),
+            });
+        }
+        let alpha = rr / pap;
+        space.axpy(alpha, &p, x);
+        space.axpy(-alpha, &ap, &mut r);
+        let rr_new = space.norm2(&r)?;
+        let beta = rr_new / rr;
+        space.xpay(&r, beta, &mut p);
+        rr = rr_new;
+        stats.iterations += 1;
+    }
+    stats.residual = (rr / bnorm2).sqrt();
+    if rr <= target2 {
+        stats.converged = true;
+    }
+    if !stats.converged {
+        return Err(Error::NoConvergence {
+            solver: "cg",
+            iterations: stats.iterations,
+            residual: stats.residual,
+            target: tol,
+        });
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::DenseSpace;
+    use lqcd_util::Complex;
+
+    fn rand_b(n: usize) -> Vec<Complex<f64>> {
+        (0..n).map(|k| Complex::new((k as f64 * 0.7).sin(), (k as f64 * 1.3).cos())).collect()
+    }
+
+    #[test]
+    fn solves_hpd_system() {
+        let mut s = DenseSpace::random_hpd(24, 1);
+        let b = rand_b(24);
+        let mut x = s.alloc();
+        let stats = cg(&mut s, &mut x, &b, 1e-10, 200).unwrap();
+        assert!(stats.converged);
+        // Verify the true residual.
+        let mut ax = s.alloc();
+        s.matvec(&mut ax, &mut x).unwrap();
+        s.xpay(&b, -1.0, &mut ax);
+        let res = (s.norm2(&ax).unwrap() / s.norm2(&b).unwrap()).sqrt();
+        assert!(res < 1e-9, "true residual {res}");
+    }
+
+    #[test]
+    fn warm_start_converges_faster() {
+        let mut s = DenseSpace::random_hpd(24, 2);
+        let b = rand_b(24);
+        let mut x = s.alloc();
+        let cold = cg(&mut s, &mut x, &b, 1e-10, 200).unwrap();
+        // Restart from the solution: should converge in ~0 iterations.
+        let warm = cg(&mut s, &mut x, &b, 1e-10, 200).unwrap();
+        assert!(warm.iterations <= 1, "warm start took {}", warm.iterations);
+        assert!(cold.iterations > warm.iterations);
+    }
+
+    #[test]
+    fn zero_rhs_gives_zero_solution() {
+        let mut s = DenseSpace::random_hpd(8, 3);
+        let b = s.alloc();
+        let mut x = s.alloc();
+        x[0] = Complex::one();
+        let stats = cg(&mut s, &mut x, &b, 1e-12, 10).unwrap();
+        assert!(stats.converged);
+        assert_eq!(s.norm2(&x).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn iteration_budget_exhaustion_errors() {
+        let mut s = DenseSpace::random_hpd(32, 4);
+        let b = rand_b(32);
+        let mut x = s.alloc();
+        let err = cg(&mut s, &mut x, &b, 1e-14, 1).unwrap_err();
+        assert!(matches!(err, Error::NoConvergence { solver: "cg", .. }));
+    }
+
+    #[test]
+    fn non_hpd_operator_breaks_down() {
+        // A negative-definite matrix makes ⟨p, Ap⟩ < 0 on the first step.
+        let mut s = DenseSpace::random_hpd(8, 5);
+        for row in &mut s.a {
+            for e in row.iter_mut() {
+                *e = -*e;
+            }
+        }
+        let b = rand_b(8);
+        let mut x = s.alloc();
+        let err = cg(&mut s, &mut x, &b, 1e-10, 50).unwrap_err();
+        assert!(matches!(err, Error::Breakdown { solver: "cg", .. }));
+    }
+}

@@ -1,0 +1,598 @@
+//! End-to-end solves on real lattice Dirac operators, serial and
+//! distributed — the numerical behaviours §8–§9 of the paper rely on.
+
+use lqcd_comms::{run_on_grid, Communicator, SingleComm};
+use lqcd_dirac::{StaggeredOp, WilsonCloverOp, STAGGERED_DEPTH, WILSON_DEPTH};
+use lqcd_field::blas;
+use lqcd_gauge::asqtad::{AsqtadCoeffs, AsqtadLinks};
+use lqcd_gauge::clover_build::build_clover_field;
+use lqcd_gauge::field::GaugeStart;
+use lqcd_gauge::GaugeField;
+use lqcd_lattice::{Dims, FaceGeometry, Parity, ProcessGrid, SubLattice};
+use lqcd_solvers::mixed::{defect_correction, multishift_refined};
+use lqcd_solvers::spaces::{
+    cast_staggered_op, cast_wilson_op, EoWilsonSpace, FieldBridge, StaggeredNormalSpace,
+};
+use lqcd_solvers::{bicgstab, cg, gcr, multishift_cg, GcrParams, IdentityPrecond, SchwarzMR};
+use lqcd_solvers::{SolveStats, SolverSpace};
+use lqcd_su3::WilsonSpinor;
+use lqcd_util::rng::SeedTree;
+use std::sync::Arc;
+
+const GLOBAL: Dims = Dims([8, 8, 8, 8]);
+const SEED: u64 = 777;
+const DISORDER: f64 = 0.25;
+const MASS: f64 = 0.15;
+
+fn wilson_op_serial() -> WilsonCloverOp<f64> {
+    let seed = SeedTree::new(SEED);
+    let sub = Arc::new(SubLattice::single(GLOBAL).unwrap());
+    let faces = FaceGeometry::new(&sub, WILSON_DEPTH).unwrap();
+    let gauge = GaugeField::<f64>::generate(
+        sub,
+        &faces,
+        GLOBAL,
+        &seed,
+        GaugeStart::Disordered(DISORDER),
+    );
+    let clover = build_clover_field(&gauge, GLOBAL, 1.0);
+    WilsonCloverOp::new(gauge, Some(clover), MASS).unwrap()
+}
+
+fn wilson_op_for_rank<C: Communicator>(comm: &mut C, grid: &ProcessGrid) -> WilsonCloverOp<f64> {
+    let seed = SeedTree::new(SEED);
+    let sub = Arc::new(SubLattice::for_rank(grid, comm.rank()));
+    let faces = FaceGeometry::new(&sub, WILSON_DEPTH).unwrap();
+    let mut gauge = GaugeField::<f64>::generate(
+        sub.clone(),
+        &faces,
+        GLOBAL,
+        &seed,
+        GaugeStart::Disordered(DISORDER),
+    );
+    gauge.exchange_ghosts(comm, &faces).unwrap();
+    // Clover built globally, restricted (site-diagonal).
+    let gsub = Arc::new(SubLattice::single(GLOBAL).unwrap());
+    let gfaces = FaceGeometry::new(&gsub, WILSON_DEPTH).unwrap();
+    let ggauge = GaugeField::<f64>::generate(
+        gsub,
+        &gfaces,
+        GLOBAL,
+        &seed,
+        GaugeStart::Disordered(DISORDER),
+    );
+    let gclover = build_clover_field(&ggauge, GLOBAL, 1.0);
+    let clover = lqcd_gauge::clover_build::restrict_clover(&gclover, sub, &faces);
+    WilsonCloverOp::new(gauge, Some(clover), MASS).unwrap()
+}
+
+fn rhs_for(space_sub: &Arc<SubLattice>, op: &WilsonCloverOp<f64>) -> lqcd_dirac::wilson::SpinorField<f64> {
+    let seed = SeedTree::new(SEED).child("rhs");
+    let mut b = op.alloc(Parity::Odd);
+    let sub = space_sub.clone();
+    b.fill(|idx| {
+        let c = sub.cb_coords(Parity::Odd, idx);
+        let mut gc = c;
+        for d in 0..4 {
+            gc[d] = c[d] + sub.origin[d];
+        }
+        WilsonSpinor::random(&mut seed.stream(GLOBAL.index(gc) as u64))
+    });
+    b
+}
+
+/// Verify a solution of `M̂ x = b` by applying the operator once more.
+fn verify_eo<C: Communicator>(space: &mut EoWilsonSpace<f64, C>, x: &lqcd_dirac::wilson::SpinorField<f64>, b: &lqcd_dirac::wilson::SpinorField<f64>) -> f64 {
+    let mut ax = space.alloc();
+    let mut xc = x.clone();
+    space.matvec(&mut ax, &mut xc).unwrap();
+    blas::xpay(b, -1.0, &mut ax);
+    (space.norm2(&ax).unwrap() / space.norm2(b).unwrap()).sqrt()
+}
+
+#[test]
+fn bicgstab_solves_wilson_clover_serial() {
+    let op = wilson_op_serial();
+    let sub = op.sublattice().clone();
+    let comm = SingleComm::new(GLOBAL).unwrap();
+    let mut space = EoWilsonSpace::new(op, comm).unwrap();
+    let b = rhs_for(&sub, &space.op);
+    let mut x = space.alloc();
+    let stats = bicgstab(&mut space, &mut x, &b, 1e-10, 2000).unwrap();
+    assert!(stats.converged, "stats: {stats:?}");
+    assert!(verify_eo(&mut space, &x, &b) < 1e-9);
+}
+
+#[test]
+fn gcr_dd_solves_wilson_clover_distributed_and_matches_serial() {
+    // Serial reference solution.
+    let op = wilson_op_serial();
+    let sub = op.sublattice().clone();
+    let comm = SingleComm::new(GLOBAL).unwrap();
+    let mut serial_space = EoWilsonSpace::new(op, comm).unwrap();
+    let b = rhs_for(&sub, &serial_space.op);
+    let mut x_ref = serial_space.alloc();
+    bicgstab(&mut serial_space, &mut x_ref, &b, 1e-10, 2000).unwrap();
+    // Flatten reference by global site.
+    let mut reference = vec![0.0f64; GLOBAL.volume() * 24];
+    for (idx, c) in sub.sites(Parity::Odd) {
+        let s = x_ref.site(idx);
+        let mut buf = [0.0f64; 24];
+        lqcd_field::SiteObject::<f64>::write(&s, &mut buf);
+        reference[GLOBAL.index(c) * 24..GLOBAL.index(c) * 24 + 24].copy_from_slice(&buf);
+    }
+    let reference = Arc::new(reference);
+
+    let grid = ProcessGrid::new(Dims([1, 1, 2, 2]), GLOBAL).unwrap();
+    let grid2 = grid.clone();
+    let ref2 = reference.clone();
+    let results = run_on_grid(grid, move |mut comm| {
+        let op = wilson_op_for_rank(&mut comm, &grid2);
+        let sub = op.sublattice().clone();
+        let mut space = EoWilsonSpace::new(op, comm).unwrap();
+        let b = rhs_for(&sub, &space.op);
+        let mut x = space.alloc();
+        let mut precond = SchwarzMR::new(6);
+        let params = GcrParams { tol: 1e-10, kmax: 16, delta: 0.05, maxiter: 4000, quantize_krylov: false };
+        let stats = gcr(&mut space, &mut precond, &mut x, &b, &params).unwrap();
+        // Compare with serial solution sitewise.
+        let mut max_err = 0.0f64;
+        for (idx, c) in sub.sites(Parity::Odd) {
+            let mut gc = c;
+            for d in 0..4 {
+                gc[d] = c[d] + sub.origin[d];
+            }
+            let s = x.site(idx);
+            let mut buf = [0.0f64; 24];
+            lqcd_field::SiteObject::<f64>::write(&s, &mut buf);
+            for k in 0..24 {
+                max_err = max_err.max((buf[k] - ref2[GLOBAL.index(gc) * 24 + k]).abs());
+            }
+        }
+        (stats, max_err)
+    });
+    for (rank, (stats, err)) in results.iter().enumerate() {
+        assert!(stats.converged, "rank {rank}: {stats:?}");
+        assert!(stats.precond_matvecs > 0, "Schwarz blocks never solved");
+        assert!(*err < 1e-7, "rank {rank}: solution deviates by {err}");
+    }
+}
+
+#[test]
+fn gcr_dd_beats_unpreconditioned_gcr_in_outer_iterations() {
+    let grid = ProcessGrid::new(Dims([1, 1, 2, 2]), GLOBAL).unwrap();
+    let grid2 = grid.clone();
+    let results = run_on_grid(grid, move |mut comm| {
+        let op = wilson_op_for_rank(&mut comm, &grid2);
+        let sub = op.sublattice().clone();
+        let mut space = EoWilsonSpace::new(op, comm).unwrap();
+        let b = rhs_for(&sub, &space.op);
+        let params = GcrParams { tol: 1e-8, kmax: 16, delta: 0.05, maxiter: 4000, quantize_krylov: false };
+        let mut x1 = space.alloc();
+        let plain = gcr(&mut space, &mut IdentityPrecond, &mut x1, &b, &params).unwrap();
+        let mut x2 = space.alloc();
+        let dd = gcr(&mut space, &mut SchwarzMR::new(8), &mut x2, &b, &params).unwrap();
+        (plain.iterations, dd.iterations)
+    });
+    let (plain, dd) = results[0];
+    assert!(
+        dd < plain,
+        "GCR-DD outer iterations {dd} should undercut plain GCR {plain}"
+    );
+}
+
+#[test]
+fn mixed_double_single_defect_correction_wilson() {
+    let op = wilson_op_serial();
+    let sub = op.sublattice().clone();
+    let op32 = cast_wilson_op::<f32>(&op).unwrap();
+    let comm = SingleComm::new(GLOBAL).unwrap();
+    let comm32 = SingleComm::new(GLOBAL).unwrap();
+    let mut hi = EoWilsonSpace::new(op, comm).unwrap();
+    let mut lo = EoWilsonSpace::new(op32, comm32).unwrap();
+    let b = rhs_for(&sub, &hi.op);
+    let mut x = hi.alloc();
+    let stats = defect_correction(
+        &mut hi,
+        &mut lo,
+        &FieldBridge,
+        &mut x,
+        &b,
+        1e-10,
+        30,
+        |space, e, r| bicgstab(space, e, r, 1e-4, 2000),
+    )
+    .unwrap();
+    assert!(stats.converged);
+    assert!(stats.restarts >= 2, "double-single should take several cycles");
+    assert!(verify_eo(&mut hi, &x, &b) < 1e-9);
+}
+
+#[test]
+fn single_half_half_gcr_dd_converges_to_single_accuracy() {
+    // The paper's production configuration (§8.1): GCR restarted in
+    // single, Krylov space and preconditioner in half. Verify it reaches
+    // the "single-precision accuracy is sufficient" regime (~1e-5).
+    let grid = ProcessGrid::new(Dims([1, 1, 2, 2]), GLOBAL).unwrap();
+    let grid2 = grid.clone();
+    let results = run_on_grid(grid, move |mut comm| {
+        let op = wilson_op_for_rank(&mut comm, &grid2);
+        let sub = op.sublattice().clone();
+        let op32 = cast_wilson_op::<f32>(&op).unwrap();
+        let mut space = EoWilsonSpace::new(op32, comm).unwrap().with_half_storage();
+        // Build the RHS in f32 from the f64 prototype.
+        let seedb = SeedTree::new(SEED).child("rhs");
+        let mut b = space.alloc();
+        let subc = sub.clone();
+        b.fill(|idx| {
+            let c = subc.cb_coords(Parity::Odd, idx);
+            let mut gc = c;
+            for d in 0..4 {
+                gc[d] = c[d] + subc.origin[d];
+            }
+            WilsonSpinor::<f64>::random(&mut seedb.stream(GLOBAL.index(gc) as u64)).cast::<f32>()
+        });
+        let mut x = space.alloc();
+        let mut precond = SchwarzMR::new(10).quantized();
+        let params = GcrParams {
+            tol: 3e-5,
+            kmax: 16,
+            delta: 0.05,
+            maxiter: 4000,
+            quantize_krylov: true,
+        };
+        let stats = gcr(&mut space, &mut precond, &mut x, &b, &params).unwrap();
+        // True residual at f32.
+        let mut ax = space.alloc();
+        let mut xc = x.clone();
+        space.matvec(&mut ax, &mut xc).unwrap();
+        blas::xpay(&b, -1.0f32, &mut ax);
+        let resid =
+            (space.norm2(&ax).unwrap() / space.norm2(&b).unwrap()).sqrt();
+        (stats.converged, resid)
+    });
+    for (rank, (conv, resid)) in results.iter().enumerate() {
+        assert!(*conv, "rank {rank} did not converge");
+        assert!(*resid < 5e-5, "rank {rank}: residual {resid}");
+    }
+}
+
+#[test]
+fn staggered_cg_and_multishift_serial() {
+    let seed = SeedTree::new(SEED + 9);
+    let sub = Arc::new(SubLattice::single(GLOBAL).unwrap());
+    let faces = FaceGeometry::new(&sub, STAGGERED_DEPTH).unwrap();
+    let thin = GaugeField::<f64>::generate(
+        sub.clone(),
+        &faces,
+        GLOBAL,
+        &seed,
+        GaugeStart::Disordered(0.2),
+    );
+    let links = AsqtadLinks::compute(&thin, GLOBAL, &AsqtadCoeffs::default());
+    let op = StaggeredOp::new(links.fat, links.long, 0.2).unwrap();
+    let comm = SingleComm::new(GLOBAL).unwrap();
+    let mut space = StaggeredNormalSpace::new(op, comm);
+    let seedb = seed.child("rhs");
+    let mut b = space.alloc();
+    let subc = sub.clone();
+    b.fill(|idx| {
+        let c = subc.cb_coords(Parity::Even, idx);
+        lqcd_su3::ColorVector::random(&mut seedb.stream(GLOBAL.index(c) as u64))
+    });
+    // Plain CG.
+    let mut x = space.alloc();
+    let stats = cg(&mut space, &mut x, &b, 1e-10, 4000).unwrap();
+    assert!(stats.converged);
+    // Multi-shift: solutions must match per-shift defect-corrected solves.
+    let shifts = [0.0, 0.1, 0.5];
+    let ms = multishift_cg(&mut space, &shifts, &b, 1e-10, 4000).unwrap();
+    assert!(ms.stats.converged);
+    // σ = 0 must equal the plain CG solution.
+    let mut diff = ms.solutions[0].clone();
+    blas::axpy(-1.0, &x, &mut diff);
+    let rel = (blas::norm2_local(&diff) / blas::norm2_local(&x)).sqrt();
+    assert!(rel < 1e-7, "multishift σ=0 differs from CG by {rel}");
+    // Shift ordering: larger shifts converge no later.
+    assert!(ms.converged_at[2] <= ms.converged_at[1]);
+    assert!(ms.converged_at[1] <= ms.converged_at[0]);
+}
+
+#[test]
+fn staggered_mixed_multishift_refinement_matches_paper_strategy() {
+    let seed = SeedTree::new(SEED + 10);
+    let sub = Arc::new(SubLattice::single(GLOBAL).unwrap());
+    let faces = FaceGeometry::new(&sub, STAGGERED_DEPTH).unwrap();
+    let thin = GaugeField::<f64>::generate(
+        sub.clone(),
+        &faces,
+        GLOBAL,
+        &seed,
+        GaugeStart::Disordered(0.2),
+    );
+    let links = AsqtadLinks::compute(&thin, GLOBAL, &AsqtadCoeffs::default());
+    let op = StaggeredOp::new(links.fat, links.long, 0.15).unwrap();
+    let op32 = cast_staggered_op::<f32>(&op).unwrap();
+    let mut hi = StaggeredNormalSpace::new(op, SingleComm::new(GLOBAL).unwrap());
+    let mut lo = StaggeredNormalSpace::new(op32, SingleComm::new(GLOBAL).unwrap());
+    let seedb = seed.child("rhs");
+    let mut b = hi.alloc();
+    let subc = sub.clone();
+    b.fill(|idx| {
+        let c = subc.cb_coords(Parity::Even, idx);
+        lqcd_su3::ColorVector::random(&mut seedb.stream(GLOBAL.index(c) as u64))
+    });
+    let shifts = [0.0, 0.25, 1.0];
+    let (solutions, stats) = multishift_refined(
+        &mut hi,
+        &mut lo,
+        &FieldBridge,
+        &shifts,
+        &b,
+        1e-10,
+        1e-5,
+        1e-5,
+        8000,
+    )
+    .unwrap();
+    assert!(stats.converged);
+    // Verify every shifted system at double precision.
+    for (i, &sigma) in shifts.iter().enumerate() {
+        let mut ax = hi.alloc();
+        let mut xc = solutions[i].clone();
+        hi.matvec(&mut ax, &mut xc).unwrap();
+        blas::axpy(sigma, &solutions[i], &mut ax);
+        blas::xpay(&b, -1.0, &mut ax);
+        let res = (hi.norm2(&ax).unwrap() / hi.norm2(&b).unwrap()).sqrt();
+        assert!(res < 1e-9, "shift {sigma}: residual {res}");
+    }
+}
+
+#[test]
+fn staggered_multishift_distributed_matches_serial() {
+    let seed = SeedTree::new(SEED + 11);
+    let gsub = Arc::new(SubLattice::single(GLOBAL).unwrap());
+    let gfaces = FaceGeometry::new(&gsub, STAGGERED_DEPTH).unwrap();
+    let thin = GaugeField::<f64>::generate(
+        gsub.clone(),
+        &gfaces,
+        GLOBAL,
+        &seed,
+        GaugeStart::Disordered(0.2),
+    );
+    let links = Arc::new(AsqtadLinks::compute(&thin, GLOBAL, &AsqtadCoeffs::default()));
+    // Serial.
+    let op = StaggeredOp::new(links.fat.clone(), links.long.clone(), 0.2).unwrap();
+    let mut space = StaggeredNormalSpace::new(op, SingleComm::new(GLOBAL).unwrap());
+    let seedb = seed.child("rhs");
+    let mut b = space.alloc();
+    let subc = gsub.clone();
+    b.fill(|idx| {
+        let c = subc.cb_coords(Parity::Even, idx);
+        lqcd_su3::ColorVector::random(&mut seedb.stream(GLOBAL.index(c) as u64))
+    });
+    let shifts = [0.0, 0.3];
+    let ms = multishift_cg(&mut space, &shifts, &b, 1e-9, 4000).unwrap();
+    let mut flat = vec![0.0f64; GLOBAL.volume() * 6 * shifts.len()];
+    for (si, sol) in ms.solutions.iter().enumerate() {
+        for (idx, c) in gsub.sites(Parity::Even) {
+            let mut buf = [0.0f64; 6];
+            lqcd_field::SiteObject::<f64>::write(&sol.site(idx), &mut buf);
+            let base = (si * GLOBAL.volume() + GLOBAL.index(c)) * 6;
+            flat[base..base + 6].copy_from_slice(&buf);
+        }
+    }
+    let flat = Arc::new(flat);
+    // Distributed (YZT-style 2x2 in Z,T).
+    let grid = ProcessGrid::new(Dims([1, 1, 2, 2]), GLOBAL).unwrap();
+    let grid2 = grid.clone();
+    let links2 = links.clone();
+    let flat2 = flat.clone();
+    let seed2 = seed.clone();
+    let errs = run_on_grid(grid, move |comm| {
+        let sub = Arc::new(SubLattice::for_rank(&grid2, comm.rank()));
+        let faces = FaceGeometry::new(&sub, STAGGERED_DEPTH).unwrap();
+        let fat = GaugeField::restrict_from_global(&links2.fat, sub.clone(), &faces, GLOBAL);
+        let long = GaugeField::restrict_from_global(&links2.long, sub.clone(), &faces, GLOBAL);
+        let op = StaggeredOp::new(fat, long, 0.2).unwrap();
+        let mut space = StaggeredNormalSpace::new(op, comm);
+        let seedb = seed2.child("rhs");
+        let mut b = space.alloc();
+        let subc = sub.clone();
+        b.fill(|idx| {
+            let c = subc.cb_coords(Parity::Even, idx);
+            let mut gc = c;
+            for d in 0..4 {
+                gc[d] = c[d] + subc.origin[d];
+            }
+            lqcd_su3::ColorVector::random(&mut seedb.stream(GLOBAL.index(gc) as u64))
+        });
+        let ms = multishift_cg(&mut space, &[0.0, 0.3], &b, 1e-9, 4000).unwrap();
+        let mut max_err = 0.0f64;
+        for (si, sol) in ms.solutions.iter().enumerate() {
+            for (idx, c) in sub.sites(Parity::Even) {
+                let mut gc = c;
+                for d in 0..4 {
+                    gc[d] = c[d] + sub.origin[d];
+                }
+                let mut buf = [0.0f64; 6];
+                lqcd_field::SiteObject::<f64>::write(&sol.site(idx), &mut buf);
+                let base = (si * GLOBAL.volume() + GLOBAL.index(gc)) * 6;
+                for k in 0..6 {
+                    max_err = max_err.max((buf[k] - flat2[base + k]).abs());
+                }
+            }
+        }
+        max_err
+    });
+    let worst = errs.iter().cloned().fold(0.0, f64::max);
+    assert!(worst < 1e-6, "distributed multishift deviates by {worst}");
+}
+
+/// Iteration-count growth as DD blocks shrink — the effect behind the
+/// GCR-DD scaling limit (§9.1: smaller local volume ⇒ weaker
+/// preconditioner) and an input to the Fig. 7/8 model.
+#[test]
+fn dd_outer_iterations_grow_as_blocks_shrink() {
+    let mut iters = Vec::new();
+    for shape in [Dims([1, 1, 1, 2]), Dims([1, 1, 2, 2]), Dims([1, 2, 2, 2])] {
+        let grid = ProcessGrid::new(shape, GLOBAL).unwrap();
+        let grid2 = grid.clone();
+        let results = run_on_grid(grid, move |mut comm| {
+            let op = wilson_op_for_rank(&mut comm, &grid2);
+            let sub = op.sublattice().clone();
+            let mut space = EoWilsonSpace::new(op, comm).unwrap();
+            let b = rhs_for(&sub, &space.op);
+            let mut x = space.alloc();
+            let params = GcrParams { tol: 1e-8, kmax: 16, delta: 0.05, maxiter: 4000, quantize_krylov: false };
+            let stats: SolveStats =
+                gcr(&mut space, &mut SchwarzMR::new(8), &mut x, &b, &params).unwrap();
+            stats.iterations
+        });
+        iters.push(results[0]);
+    }
+    // Non-strict monotonicity (small lattices can tie) but the 8-rank
+    // blocks must need at least as many outer iterations as the 2-rank
+    // blocks.
+    assert!(
+        iters[2] >= iters[0],
+        "outer iterations did not grow with shrinking blocks: {iters:?}"
+    );
+}
+
+#[test]
+fn cgnr_solves_wilson_via_gamma5_adjoint() {
+    // CGNR (§3.1's "CG on the normal equations") through the free
+    // adjoint M̂† = γ₅ M̂ γ₅ must match BiCGstab's solution, at a higher
+    // matvec cost — the reason the paper prefers BiCGstab.
+    use lqcd_solvers::cgnr;
+    let op = wilson_op_serial();
+    let sub = op.sublattice().clone();
+    let comm = SingleComm::new(GLOBAL).unwrap();
+    let mut space = EoWilsonSpace::new(op, comm).unwrap();
+    let b = rhs_for(&sub, &space.op);
+    let mut x_cgnr = space.alloc();
+    let st_cgnr = cgnr(&mut space, &mut x_cgnr, &b, 1e-9, 8000).unwrap();
+    assert!(st_cgnr.converged);
+    let mut x_bicg = space.alloc();
+    let st_bicg = bicgstab(&mut space, &mut x_bicg, &b, 1e-9, 8000).unwrap();
+    let mut diff = x_cgnr.clone();
+    blas::axpy(-1.0, &x_bicg, &mut diff);
+    let rel = (blas::norm2_local(&diff) / blas::norm2_local(&x_bicg)).sqrt();
+    assert!(rel < 1e-6, "CGNR and BiCGstab disagree by {rel}");
+    assert!(
+        st_cgnr.matvecs >= st_bicg.matvecs,
+        "CGNR should pay more matvecs: {} vs {}",
+        st_cgnr.matvecs,
+        st_bicg.matvecs
+    );
+}
+
+#[test]
+fn lanczos_condition_number_tracks_quark_mass() {
+    // §3.1: "the quark mass controls the condition number of the
+    // matrix" — measure κ(M†M) with Lanczos at two masses and check the
+    // lighter quark is worse conditioned, and that CG iteration counts
+    // order accordingly.
+    use lqcd_solvers::lanczos_extremes;
+    let seed = SeedTree::new(SEED + 20);
+    let sub = Arc::new(SubLattice::single(GLOBAL).unwrap());
+    let faces = FaceGeometry::new(&sub, STAGGERED_DEPTH).unwrap();
+    let thin = GaugeField::<f64>::generate(
+        sub.clone(),
+        &faces,
+        GLOBAL,
+        &seed,
+        GaugeStart::Disordered(0.2),
+    );
+    let links = AsqtadLinks::compute(&thin, GLOBAL, &AsqtadCoeffs::default());
+    let mut kappa = Vec::new();
+    let mut iters = Vec::new();
+    for mass in [0.5f64, 0.1] {
+        let op = StaggeredOp::new(links.fat.clone(), links.long.clone(), mass).unwrap();
+        let mut space = StaggeredNormalSpace::new(op, SingleComm::new(GLOBAL).unwrap());
+        let seedb = seed.child("rhs");
+        let mut b = space.alloc();
+        let subc = sub.clone();
+        b.fill(|idx| {
+            let c = subc.cb_coords(Parity::Even, idx);
+            lqcd_su3::ColorVector::random(&mut seedb.stream(GLOBAL.index(c) as u64))
+        });
+        let sp = lanczos_extremes(&mut space, &b, 40).unwrap();
+        // λ_min of M†M is bounded below by m² — and approaches it.
+        assert!(sp.lambda_min >= mass * mass * 0.99, "λmin {} < m²", sp.lambda_min);
+        kappa.push(sp.kappa());
+        let mut x = space.alloc();
+        let st = cg(&mut space, &mut x, &b, 1e-8, 8000).unwrap();
+        iters.push(st.iterations);
+    }
+    assert!(kappa[1] > kappa[0], "lighter quark must be worse conditioned: {kappa:?}");
+    assert!(iters[1] > iters[0], "lighter quark must need more CG iterations: {iters:?}");
+}
+
+#[test]
+fn even_odd_preconditioning_accelerates_the_solve() {
+    // §3.1: even-odd preconditioning "is almost always used to
+    // accelerate the solution finding process". Solve the SAME physical
+    // system unpreconditioned (full lattice) and via the Schur
+    // complement, and compare matvec counts and solutions.
+    use lqcd_solvers::spaces::FullWilsonSpace;
+    let mut op = wilson_op_serial();
+    op.build_t_inverse().unwrap();
+    let sub = op.sublattice().clone();
+    let seedb = SeedTree::new(SEED).child("rhs-full");
+    // Full-system right-hand side (both parities).
+    let comm = SingleComm::new(GLOBAL).unwrap();
+    let mut full = FullWilsonSpace::new(op, comm);
+    let mut b = full.alloc();
+    let subc = sub.clone();
+    b.0.fill(|idx| {
+        let c = subc.cb_coords(Parity::Even, idx);
+        WilsonSpinor::random(&mut seedb.stream(GLOBAL.index(c) as u64))
+    });
+    let subc = sub.clone();
+    b.1.fill(|idx| {
+        let c = subc.cb_coords(Parity::Odd, idx);
+        WilsonSpinor::random(&mut seedb.stream(GLOBAL.index(c) as u64))
+    });
+    let mut x_full = full.alloc();
+    let full_stats = bicgstab(&mut full, &mut x_full, &b, 1e-9, 8000).unwrap();
+    assert!(full_stats.converged);
+
+    // Schur path: b̂ = b_o + (1/4) D̂_oe T_ee⁻¹ b_e ; solve M̂ x_o = b̂ ;
+    // reconstruct x_e.
+    let op = full.op;
+    let comm = SingleComm::new(GLOBAL).unwrap();
+    let mut eo = EoWilsonSpace::new(op, comm).unwrap();
+    let mut comm2 = SingleComm::new(GLOBAL).unwrap();
+    let mut tinv_be = eo.op.alloc(Parity::Even);
+    eo.op.t_inv_apply(&mut tinv_be, &b.0).unwrap();
+    let mut bhat = eo.op.alloc(Parity::Odd);
+    eo.op
+        .dslash(&mut bhat, &mut tinv_be, &mut comm2, lqcd_dirac::BoundaryMode::Full)
+        .unwrap();
+    blas::scale(&mut bhat, 0.25);
+    blas::axpy(1.0, &b.1, &mut bhat);
+    let mut x_o = eo.alloc();
+    let eo_stats = bicgstab(&mut eo, &mut x_o, &bhat, 1e-9, 8000).unwrap();
+    assert!(eo_stats.converged);
+    let mut x_e = eo.op.alloc(Parity::Even);
+    eo.op
+        .reconstruct_even(&mut x_e, &b.0, &mut x_o, &mut comm2, lqcd_dirac::BoundaryMode::Full)
+        .unwrap();
+
+    // Same solution.
+    let mut d_e = x_e.clone();
+    blas::axpy(-1.0, &x_full.0, &mut d_e);
+    let rel = (blas::norm2_local(&d_e) / blas::norm2_local(&x_full.0)).sqrt();
+    assert!(rel < 1e-6, "eo-prec and full solutions differ: {rel}");
+    // The acceleration claim: each eo matvec costs 2 dslash (like one
+    // full matvec) but on half the sites, and converges in fewer
+    // iterations — compare *dslash-equivalent volumes* processed.
+    let full_work = full_stats.matvecs * 2; // 2 half-volume dslash per matvec, both parities
+    let eo_work = eo_stats.matvecs * 2; // 2 half-volume dslash per Schur matvec
+    assert!(
+        eo_work < full_work,
+        "even-odd should reduce work: eo {eo_work} vs full {full_work} dslash applications"
+    );
+}

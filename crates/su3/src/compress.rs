@@ -1,0 +1,292 @@
+//! Compressed gauge-link storage with exact SU(3) reconstruction.
+//!
+//! Paper §5, strategy (a): "using compression for the SU(3) gauge matrices
+//! to reduce the 18 real numbers to 12 (or 8) real numbers at the expense
+//! of extra computation". Both schemes trade memory *bandwidth* (the
+//! scarce resource on the GPU) for flops (abundant):
+//!
+//! * **12-real**: store the first two rows; the third is
+//!   `conj(row0 × row1)` by unitarity and `det = 1`.
+//! * **8-real**: a minimal parameterization — store `a2, a3` (row 0), `b1`
+//!   (row 1, first element) as complex numbers plus the phases
+//!   `θ1 = arg(a1)` and `θ2 = arg(c1)`; reconstruct everything else from
+//!   unitarity. Degenerates when `|a2|² + |a3|² → 0`, which is
+//!   measure-zero for equilibrated gauge fields; [`Su3Compressed8::encode`]
+//!   reports that case so callers can fall back to 12-real storage (QUDA
+//!   likewise excludes such links).
+
+use crate::matrix::Su3;
+use lqcd_util::{Complex, Error, Real, Result};
+
+/// Which link-storage format a gauge field uses. Names follow QUDA.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Reconstruct {
+    /// 18 reals: no compression (required for non-unitary fat links).
+    None,
+    /// 12 reals: two rows stored, third reconstructed.
+    Twelve,
+    /// 8 reals: minimal parameterization.
+    Eight,
+}
+
+impl Reconstruct {
+    /// Number of real numbers stored per link.
+    pub const fn reals(self) -> usize {
+        match self {
+            Reconstruct::None => 18,
+            Reconstruct::Twelve => 12,
+            Reconstruct::Eight => 8,
+        }
+    }
+}
+
+/// A link compressed to 12 reals (two rows).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Su3Compressed12<R> {
+    /// Rows 0 and 1 of the matrix.
+    pub rows: [[Complex<R>; 3]; 2],
+}
+
+impl<R: Real> Su3Compressed12<R> {
+    /// Compress a special-unitary matrix (rows are stored verbatim).
+    pub fn encode(u: &Su3<R>) -> Self {
+        Self { rows: [u.m[0], u.m[1]] }
+    }
+
+    /// Reconstruct the full matrix: `row2 = conj(row0 × row1)`.
+    pub fn decode(&self) -> Su3<R> {
+        let r0 = &self.rows[0];
+        let r1 = &self.rows[1];
+        let r2 = [
+            (r0[1] * r1[2] - r0[2] * r1[1]).conj(),
+            (r0[2] * r1[0] - r0[0] * r1[2]).conj(),
+            (r0[0] * r1[1] - r0[1] * r1[0]).conj(),
+        ];
+        Su3 { m: [*r0, *r1, r2] }
+    }
+
+    /// Flatten to 12 reals.
+    pub fn to_reals(&self) -> [R; 12] {
+        let mut out = [R::ZERO; 12];
+        let mut k = 0;
+        for row in &self.rows {
+            for e in row {
+                out[k] = e.re;
+                out[k + 1] = e.im;
+                k += 2;
+            }
+        }
+        out
+    }
+
+    /// Rebuild from 12 reals.
+    pub fn from_reals(r: &[R; 12]) -> Self {
+        let mut rows = [[Complex::zero(); 3]; 2];
+        let mut k = 0;
+        for row in &mut rows {
+            for e in row.iter_mut() {
+                *e = Complex::new(r[k], r[k + 1]);
+                k += 2;
+            }
+        }
+        Self { rows }
+    }
+}
+
+/// A link compressed to the minimal 8 reals.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Su3Compressed8<R> {
+    /// Row 0, elements 1 and 2 (`a2`, `a3`).
+    pub a2: Complex<R>,
+    /// See `a2`.
+    pub a3: Complex<R>,
+    /// Row 1, element 0 (`b1`).
+    pub b1: Complex<R>,
+    /// Phase of row 0 element 0 (`arg a1`).
+    pub theta_a1: R,
+    /// Phase of row 2 element 0 (`arg c1`).
+    pub theta_c1: R,
+}
+
+impl<R: Real> Su3Compressed8<R> {
+    /// Relative tolerance below which the parameterization degenerates.
+    const DEGENERATE_TOL: f64 = 1e-10;
+
+    /// Compress a special-unitary matrix.
+    ///
+    /// Returns `Err(Error::Shape)` when `|a2|² + |a3|²` is too small for a
+    /// stable reconstruction (first row aligned with the color-1 axis);
+    /// callers should store such links uncompressed or at 12 reals.
+    pub fn encode(u: &Su3<R>) -> Result<Self> {
+        let a1 = u.m[0][0];
+        let a2 = u.m[0][1];
+        let a3 = u.m[0][2];
+        let b1 = u.m[1][0];
+        let c1 = u.m[2][0];
+        let tail = a2.norm_sqr() + a3.norm_sqr();
+        if tail.to_f64() < Self::DEGENERATE_TOL {
+            return Err(Error::Shape(
+                "8-real compression degenerate: first row ≈ (e^{iθ}, 0, 0)".into(),
+            ));
+        }
+        Ok(Self {
+            a2,
+            a3,
+            b1,
+            theta_a1: R::from_f64(a1.im.to_f64().atan2(a1.re.to_f64())),
+            theta_c1: R::from_f64(c1.im.to_f64().atan2(c1.re.to_f64())),
+        })
+    }
+
+    /// Reconstruct the full SU(3) matrix.
+    ///
+    /// With row 0 = `(a1, a2, a3)` and column 0 = `(a1, b1, c1)`:
+    /// `|a1| = √(1 − |a2|² − |a3|²)` fixes `a1` given its stored phase;
+    /// `|c1| = √(1 − |a1|² − |b1|²)` fixes `c1` likewise; the remaining
+    /// four elements solve the 2×2 linear system given by row-orthogonality
+    /// `row1 · row0* = 0` and the determinant condition
+    /// `c1 = conj(a2·b3 − a3·b2)`.
+    pub fn decode(&self) -> Su3<R> {
+        let (a2, a3, b1) = (self.a2, self.a3, self.b1);
+        let tail = a2.norm_sqr() + a3.norm_sqr();
+        let a1_abs = (R::ONE - tail).max(R::ZERO).sqrt();
+        let (s1, c1p) = {
+            let t = self.theta_a1.to_f64();
+            (R::from_f64(t.sin()), R::from_f64(t.cos()))
+        };
+        let a1 = Complex::new(a1_abs * c1p, a1_abs * s1);
+        let c1_abs = (R::ONE - a1.norm_sqr() - b1.norm_sqr()).max(R::ZERO).sqrt();
+        let (s2, c2p) = {
+            let t = self.theta_c1.to_f64();
+            (R::from_f64(t.sin()), R::from_f64(t.cos()))
+        };
+        let c1 = Complex::new(c1_abs * c2p, c1_abs * s2);
+
+        // Solve  [a2*  a3*] [b2]   [−a1*·b1]
+        //        [−a3  a2 ] [b3] = [ c1*   ]
+        let det = Complex::from_re(tail);
+        let r1 = -(a1.conj() * b1);
+        let r2 = c1.conj();
+        let b2 = (r1 * a2 - r2 * a3.conj()) / det;
+        let b3 = (a2.conj() * r2 - a3 * a1.conj() * b1) / det;
+
+        // Row 2 from the cross product: row2 = conj(row0 × row1), with the
+        // first element replaced by the reconstructed c1 (identical up to
+        // rounding; using c1 keeps the stored phase exact).
+        let c2 = (a3 * b1 - a1 * b3).conj();
+        let c3 = (a1 * b2 - a2 * b1).conj();
+
+        Su3 { m: [[a1, a2, a3], [b1, b2, b3], [c1, c2, c3]] }
+    }
+
+    /// Flatten to 8 reals.
+    pub fn to_reals(&self) -> [R; 8] {
+        [
+            self.a2.re,
+            self.a2.im,
+            self.a3.re,
+            self.a3.im,
+            self.b1.re,
+            self.b1.im,
+            self.theta_a1,
+            self.theta_c1,
+        ]
+    }
+
+    /// Rebuild from 8 reals.
+    pub fn from_reals(r: &[R; 8]) -> Self {
+        Self {
+            a2: Complex::new(r[0], r[1]),
+            a3: Complex::new(r[2], r[3]),
+            b1: Complex::new(r[4], r[5]),
+            theta_a1: r[6],
+            theta_c1: r[7],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lqcd_util::rng::SeedTree;
+    use proptest::prelude::*;
+
+    fn rand_su3(seed: u64) -> Su3<f64> {
+        Su3::random(&mut SeedTree::new(seed).rng())
+    }
+
+    fn matrix_close(a: &Su3<f64>, b: &Su3<f64>, tol: f64) -> bool {
+        a.sub(b).norm_sqr().sqrt() < tol
+    }
+
+    #[test]
+    fn twelve_roundtrip_is_exact_to_rounding() {
+        for seed in 0..30 {
+            let u = rand_su3(seed);
+            let v = Su3Compressed12::encode(&u).decode();
+            assert!(matrix_close(&u, &v, 1e-13), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn twelve_reals_roundtrip() {
+        let u = rand_su3(1);
+        let c = Su3Compressed12::encode(&u);
+        assert_eq!(Su3Compressed12::from_reals(&c.to_reals()), c);
+    }
+
+    #[test]
+    fn eight_roundtrip_on_random_links() {
+        for seed in 0..30 {
+            let u = rand_su3(seed);
+            let v = Su3Compressed8::encode(&u).unwrap().decode();
+            assert!(
+                matrix_close(&u, &v, 1e-10),
+                "seed {seed}: error {}",
+                u.sub(&v).norm_sqr().sqrt()
+            );
+        }
+    }
+
+    #[test]
+    fn eight_reconstruction_is_special_unitary() {
+        for seed in 0..10 {
+            let u = rand_su3(seed + 100);
+            let v = Su3Compressed8::encode(&u).unwrap().decode();
+            assert!(v.unitarity_error() < 1e-10);
+            assert!((v.det() - Complex::one()).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn eight_rejects_degenerate_first_row() {
+        let u = Su3::<f64>::identity();
+        assert!(Su3Compressed8::encode(&u).is_err());
+    }
+
+    #[test]
+    fn eight_reals_roundtrip() {
+        let u = rand_su3(2);
+        let c = Su3Compressed8::encode(&u).unwrap();
+        assert_eq!(Su3Compressed8::from_reals(&c.to_reals()), c);
+    }
+
+    #[test]
+    fn reconstruct_reals_counts() {
+        assert_eq!(Reconstruct::None.reals(), 18);
+        assert_eq!(Reconstruct::Twelve.reals(), 12);
+        assert_eq!(Reconstruct::Eight.reals(), 8);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_compression_roundtrips(seed in 0u64..10_000) {
+            let u = rand_su3(seed);
+            let v12 = Su3Compressed12::encode(&u).decode();
+            prop_assert!(matrix_close(&u, &v12, 1e-12));
+            let v8 = Su3Compressed8::encode(&u).unwrap().decode();
+            prop_assert!(matrix_close(&u, &v8, 1e-9));
+        }
+    }
+}

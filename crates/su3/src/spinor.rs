@@ -1,0 +1,125 @@
+//! Wilson 4-spinors: 4 spin × 3 color complex components per site.
+
+use crate::vector::ColorVector;
+use crate::NSPIN;
+use lqcd_util::{Complex, Real};
+use rand::Rng;
+
+/// A Wilson color-spinor: 12 complex (24 real) numbers per site, organized
+/// as 4 spin components each carrying a color vector (paper §2.2).
+#[derive(Copy, Clone, Debug, PartialEq)]
+#[repr(C)]
+pub struct WilsonSpinor<R> {
+    /// Spin-major storage: `s[spin]` is the color vector of that spin.
+    pub s: [ColorVector<R>; NSPIN],
+}
+
+impl<R: Real> Default for WilsonSpinor<R> {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl<R: Real> WilsonSpinor<R> {
+    /// The zero spinor.
+    pub fn zero() -> Self {
+        Self { s: [ColorVector::zero(); NSPIN] }
+    }
+
+    /// Build from a closure over the spin index.
+    pub fn from_fn(mut f: impl FnMut(usize) -> ColorVector<R>) -> Self {
+        let mut p = Self::zero();
+        for (i, e) in p.s.iter_mut().enumerate() {
+            *e = f(i);
+        }
+        p
+    }
+
+    /// Componentwise sum.
+    #[inline(always)]
+    pub fn add(&self, rhs: &Self) -> Self {
+        Self::from_fn(|i| self.s[i].add(&rhs.s[i]))
+    }
+
+    /// Componentwise difference.
+    #[inline(always)]
+    pub fn sub(&self, rhs: &Self) -> Self {
+        Self::from_fn(|i| self.s[i].sub(&rhs.s[i]))
+    }
+
+    /// Scale by a real factor.
+    #[inline(always)]
+    pub fn scale(&self, a: R) -> Self {
+        Self::from_fn(|i| self.s[i].scale(a))
+    }
+
+    /// Scale by a complex factor.
+    #[inline(always)]
+    pub fn scale_c(&self, a: Complex<R>) -> Self {
+        Self::from_fn(|i| self.s[i].scale_c(a))
+    }
+
+    /// Inner product, conjugate-linear in `self`.
+    #[inline(always)]
+    pub fn dot(&self, rhs: &Self) -> Complex<R> {
+        let mut acc = Complex::zero();
+        for i in 0..NSPIN {
+            acc += self.s[i].dot(&rhs.s[i]);
+        }
+        acc
+    }
+
+    /// Squared 2-norm over all 24 reals.
+    #[inline(always)]
+    pub fn norm_sqr(&self) -> R {
+        self.s.iter().map(|v| v.norm_sqr()).sum()
+    }
+
+    /// Gaussian random spinor.
+    pub fn random<G: Rng>(rng: &mut G) -> Self {
+        Self::from_fn(|_| ColorVector::random(rng))
+    }
+
+    /// Convert to another precision through `f64`.
+    pub fn cast<S: Real>(&self) -> WilsonSpinor<S> {
+        WilsonSpinor::from_fn(|i| self.s[i].cast())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lqcd_util::rng::SeedTree;
+
+    type P = WilsonSpinor<f64>;
+
+    #[test]
+    fn linear_structure() {
+        let t = SeedTree::new(1);
+        let mut rng = t.rng();
+        let a = P::random(&mut rng);
+        let b = P::random(&mut rng);
+        assert_eq!(a.add(&b), b.add(&a));
+        assert!(a.sub(&a).norm_sqr() == 0.0);
+        assert!((a.scale(3.0).norm_sqr() - 9.0 * a.norm_sqr()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn dot_consistent_with_norm() {
+        let t = SeedTree::new(2);
+        let mut rng = t.rng();
+        let a = P::random(&mut rng);
+        assert!((a.dot(&a).re - a.norm_sqr()).abs() < 1e-10);
+        assert!(a.dot(&a).im.abs() < 1e-12);
+        let b = P::random(&mut rng);
+        assert!((a.dot(&b) - b.dot(&a).conj()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cast_roundtrip_through_f32_is_close() {
+        let t = SeedTree::new(3);
+        let a = P::random(&mut t.rng());
+        let b: WilsonSpinor<f32> = a.cast();
+        assert!(a.sub(&b.cast()).norm_sqr() < 1e-10);
+    }
+}

@@ -1,0 +1,143 @@
+//! 3-component complex color vectors — the staggered per-site field.
+
+use crate::NCOLOR;
+use lqcd_util::{Complex, Real};
+use rand::Rng;
+
+/// A color vector: the per-site degrees of freedom of a staggered fermion
+/// (3 complex = 6 real numbers, cf. paper Fig. 2).
+#[derive(Copy, Clone, Debug, PartialEq)]
+#[repr(C)]
+pub struct ColorVector<R> {
+    /// The three color components.
+    pub c: [Complex<R>; NCOLOR],
+}
+
+impl<R: Real> Default for ColorVector<R> {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl<R: Real> ColorVector<R> {
+    /// The zero vector.
+    pub fn zero() -> Self {
+        Self { c: [Complex::zero(); NCOLOR] }
+    }
+
+    /// Build from a closure over the color index.
+    pub fn from_fn(mut f: impl FnMut(usize) -> Complex<R>) -> Self {
+        let mut v = Self::zero();
+        for (i, e) in v.c.iter_mut().enumerate() {
+            *e = f(i);
+        }
+        v
+    }
+
+    /// Componentwise sum.
+    #[inline(always)]
+    pub fn add(&self, rhs: &Self) -> Self {
+        Self::from_fn(|i| self.c[i] + rhs.c[i])
+    }
+
+    /// Componentwise difference.
+    #[inline(always)]
+    pub fn sub(&self, rhs: &Self) -> Self {
+        Self::from_fn(|i| self.c[i] - rhs.c[i])
+    }
+
+    /// Scale by a real factor.
+    #[inline(always)]
+    pub fn scale(&self, s: R) -> Self {
+        Self::from_fn(|i| self.c[i].scale(s))
+    }
+
+    /// Scale by a complex factor.
+    #[inline(always)]
+    pub fn scale_c(&self, s: Complex<R>) -> Self {
+        Self::from_fn(|i| self.c[i] * s)
+    }
+
+    /// `self + a · rhs` (axpy-shaped accumulation).
+    #[inline(always)]
+    pub fn axpy(&self, a: R, rhs: &Self) -> Self {
+        Self::from_fn(|i| Complex::mul_acc(self.c[i], Complex::from_re(a), rhs.c[i]))
+    }
+
+    /// Inner product `⟨self, rhs⟩ = Σ self*_i rhs_i` (conjugate-linear in
+    /// the first argument, the physics convention).
+    #[inline(always)]
+    pub fn dot(&self, rhs: &Self) -> Complex<R> {
+        let mut acc = Complex::zero();
+        for i in 0..NCOLOR {
+            acc = Complex::mul_acc(acc, self.c[i].conj(), rhs.c[i]);
+        }
+        acc
+    }
+
+    /// Squared 2-norm.
+    #[inline(always)]
+    pub fn norm_sqr(&self) -> R {
+        self.c[0].norm_sqr() + self.c[1].norm_sqr() + self.c[2].norm_sqr()
+    }
+
+    /// Gaussian random vector (unit variance per real component).
+    pub fn random<G: Rng>(rng: &mut G) -> Self {
+        Self::from_fn(|_| {
+            let (a, b) = lqcd_util::rng::normal_pair(rng);
+            Complex::new(R::from_f64(a), R::from_f64(b))
+        })
+    }
+
+    /// Convert to another precision through `f64`.
+    pub fn cast<S: Real>(&self) -> ColorVector<S> {
+        ColorVector::from_fn(|i| self.c[i].cast())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lqcd_util::rng::SeedTree;
+
+    type V = ColorVector<f64>;
+
+    #[test]
+    fn vector_space_axioms() {
+        let t = SeedTree::new(1);
+        let mut rng = t.rng();
+        let a = V::random(&mut rng);
+        let b = V::random(&mut rng);
+        assert_eq!(a.add(&b), b.add(&a));
+        assert!(a.sub(&a).norm_sqr() == 0.0);
+        let s = a.scale(2.0);
+        assert!((s.norm_sqr() - 4.0 * a.norm_sqr()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_is_sesquilinear() {
+        let t = SeedTree::new(2);
+        let mut rng = t.rng();
+        let a = V::random(&mut rng);
+        let b = V::random(&mut rng);
+        // ⟨a,b⟩ = conj(⟨b,a⟩)
+        assert!((a.dot(&b) - b.dot(&a).conj()).abs() < 1e-12);
+        // ⟨a,a⟩ = ‖a‖² real
+        assert!((a.dot(&a).re - a.norm_sqr()).abs() < 1e-12);
+        assert!(a.dot(&a).im.abs() < 1e-12);
+        // linear in second argument
+        let s = Complex::new(0.3, -0.7);
+        assert!((a.dot(&b.scale_c(s)) - a.dot(&b) * s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_matches_expansion() {
+        let t = SeedTree::new(3);
+        let mut rng = t.rng();
+        let a = V::random(&mut rng);
+        let b = V::random(&mut rng);
+        let got = a.axpy(1.5, &b);
+        let want = a.add(&b.scale(1.5));
+        assert!(got.sub(&want).norm_sqr() < 1e-24);
+    }
+}

@@ -1,0 +1,87 @@
+//! Shared error type for the `lqcd` workspace.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by lattice construction, communication, and solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Lattice dimensions or partitioning were inconsistent (e.g. local
+    /// extent not divisible, odd local extent breaking checkerboarding).
+    Geometry(String),
+    /// Field shapes/precisions disagreed between operands.
+    Shape(String),
+    /// A solver failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the solver that failed.
+        solver: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Relative residual at the point of failure.
+        residual: f64,
+        /// Target relative residual.
+        target: f64,
+    },
+    /// A solver hit a numerical breakdown (zero pivot / division by ~0).
+    Breakdown {
+        /// Name of the solver that broke down.
+        solver: &'static str,
+        /// Description of the breakdown.
+        detail: String,
+    },
+    /// Message-passing failure (peer disappeared, tag mismatch, size
+    /// mismatch).
+    Comms(String),
+    /// Experiment/bench configuration error.
+    Config(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Geometry(msg) => write!(f, "lattice geometry error: {msg}"),
+            Error::Shape(msg) => write!(f, "field shape mismatch: {msg}"),
+            Error::NoConvergence { solver, iterations, residual, target } => write!(
+                f,
+                "{solver} did not converge: |r|/|b| = {residual:.3e} after {iterations} iterations (target {target:.3e})"
+            ),
+            Error::Breakdown { solver, detail } => {
+                write!(f, "{solver} numerical breakdown: {detail}")
+            }
+            Error::Comms(msg) => write!(f, "communication error: {msg}"),
+            Error::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = Error::NoConvergence {
+            solver: "bicgstab",
+            iterations: 500,
+            residual: 1.2e-5,
+            target: 1e-8,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("bicgstab"));
+        assert!(msg.contains("500"));
+        assert!(msg.contains("1.200e-5"));
+
+        assert!(Error::Geometry("bad".into()).to_string().contains("geometry"));
+        assert!(Error::Comms("lost".into()).to_string().contains("communication"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::Geometry("x".into()), Error::Geometry("x".into()));
+        assert_ne!(Error::Geometry("x".into()), Error::Shape("x".into()));
+    }
+}

@@ -1,0 +1,174 @@
+//! The floating-point precision abstraction.
+//!
+//! All lattice algebra in this workspace is generic over [`Real`], so the
+//! Wilson-clover and staggered operators, BLAS-1 kernels, and Krylov
+//! solvers are each written once and instantiated in double (`f64`) and
+//! single (`f32`) precision. The 16-bit "half" format of the paper is a
+//! *storage* format only (computation always happens in `f32` registers, as
+//! on the GPU) and lives in [`crate::half`].
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A real scalar type usable throughout the lattice stack.
+///
+/// This is deliberately a small trait: just the arithmetic surface the
+/// operators and solvers need, plus lossless-ish conversions through `f64`
+/// used at mixed-precision boundaries.
+pub trait Real:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Machine epsilon for this precision.
+    const EPSILON: Self;
+    /// Human-readable precision label used in experiment output
+    /// (`"double"` / `"single"`).
+    const NAME: &'static str;
+
+    /// Widen to `f64` (exact for both supported precisions).
+    fn to_f64(self) -> f64;
+    /// Narrow from `f64` (rounds for `f32`).
+    fn from_f64(x: f64) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Fused (or at least composed) multiply-add `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Maximum of two values.
+    fn max(self, other: Self) -> Self;
+    /// Minimum of two values.
+    fn min(self, other: Self) -> Self;
+    /// True if the value is finite (not NaN/inf).
+    fn is_finite(self) -> bool;
+
+    /// Convenience: convert a `usize` count into this precision.
+    #[inline]
+    fn from_usize(n: usize) -> Self {
+        Self::from_f64(n as f64)
+    }
+}
+
+macro_rules! impl_real {
+    ($t:ty, $name:literal) => {
+        impl Real for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const EPSILON: Self = <$t>::EPSILON;
+            const NAME: &'static str = $name;
+
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                self * a + b
+            }
+            #[inline(always)]
+            fn max(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+            #[inline(always)]
+            fn min(self, other: Self) -> Self {
+                <$t>::min(self, other)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+        }
+    };
+}
+
+impl_real!(f32, "single");
+impl_real!(f64, "double");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<R: Real>() {
+        for x in [-3.5f64, 0.0, 1.0, 123.25] {
+            let r = R::from_f64(x);
+            assert_eq!(r.to_f64(), x, "{x} should roundtrip exactly in {}", R::NAME);
+        }
+    }
+
+    #[test]
+    fn f32_roundtrip_exact_for_representable() {
+        roundtrip::<f32>();
+    }
+
+    #[test]
+    fn f64_roundtrip_exact() {
+        roundtrip::<f64>();
+    }
+
+    #[test]
+    fn constants_behave() {
+        fn check<R: Real>() {
+            assert_eq!(R::ZERO + R::ONE, R::ONE);
+            assert_eq!(R::ONE * R::ONE, R::ONE);
+            assert!(R::EPSILON > R::ZERO);
+            assert!((R::ONE / R::from_f64(2.0)).to_f64() == 0.5);
+        }
+        check::<f32>();
+        check::<f64>();
+    }
+
+    #[test]
+    fn minmax_and_abs() {
+        fn check<R: Real>() {
+            let a = R::from_f64(-2.0);
+            let b = R::from_f64(3.0);
+            assert_eq!(a.abs().to_f64(), 2.0);
+            assert_eq!(a.max(b).to_f64(), 3.0);
+            assert_eq!(a.min(b).to_f64(), -2.0);
+            assert!(b.sqrt().to_f64() > 1.73 && b.sqrt().to_f64() < 1.74);
+        }
+        check::<f32>();
+        check::<f64>();
+    }
+
+    #[test]
+    fn from_usize_matches() {
+        assert_eq!(<f32 as Real>::from_usize(7), 7.0f32);
+        assert_eq!(<f64 as Real>::from_usize(7), 7.0f64);
+    }
+}

@@ -1,0 +1,135 @@
+//! Deterministic random-number plumbing.
+//!
+//! Gauge configurations, random sources, and noise vectors must be exactly
+//! reproducible across runs (and across rank counts!) for the paper's
+//! experiments to be regression-testable. We use ChaCha8 streams keyed by a
+//! master seed plus a purpose/site-derived stream id, so:
+//!
+//! * the same `(seed, label)` pair always yields the same stream, and
+//! * a field generated on 1 rank is *identical* to the same field generated
+//!   on N ranks, because per-site randomness is keyed by the *global* site
+//!   index, not by the order sites happen to be visited.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A reproducible source of RNG streams.
+#[derive(Clone, Debug)]
+pub struct SeedTree {
+    seed: u64,
+}
+
+impl SeedTree {
+    /// Create a tree from a master seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// The master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derive a named child tree (e.g. "gauge", "source").
+    pub fn child(&self, label: &str) -> SeedTree {
+        SeedTree { seed: splitmix(self.seed ^ fnv1a(label)) }
+    }
+
+    /// An RNG for a specific global index (site, shift id, ...) under this
+    /// tree. Streams for distinct indices are independent.
+    pub fn stream(&self, index: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(splitmix(self.seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(index ^ 0xdead_beef))))
+    }
+
+    /// A single RNG for bulk, order-insensitive uses.
+    pub fn rng(&self) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(self.seed)
+    }
+}
+
+/// Draw a standard-normal pair via Box–Muller from a uniform RNG.
+///
+/// Used for Gaussian noise sources; avoids pulling in a distributions crate.
+pub fn normal_pair<G: Rng>(rng: &mut G) -> (f64, f64) {
+    // Repeat until u1 is safely nonzero so ln(u1) is finite.
+    let mut u1: f64 = rng.gen();
+    while u1 <= f64::MIN_POSITIVE {
+        u1 = rng.gen();
+    }
+    let u2: f64 = rng.gen();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+/// FNV-1a hash of a label, for deriving child seeds.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: decorrelates sequential seeds.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let t = SeedTree::new(42);
+        let a: Vec<u64> = (0..8).map(|_| t.stream(7).next_u64()).collect();
+        let b: Vec<u64> = (0..8).map(|_| t.stream(7).next_u64()).collect();
+        // stream(7) restarts the stream each call, so first draws agree.
+        assert_eq!(a[0], b[0]);
+        let mut s1 = t.stream(7);
+        let mut s2 = t.stream(7);
+        for _ in 0..100 {
+            assert_eq!(s1.next_u64(), s2.next_u64());
+        }
+    }
+
+    #[test]
+    fn children_and_streams_are_independent() {
+        let t = SeedTree::new(42);
+        assert_ne!(t.child("gauge").seed(), t.child("source").seed());
+        assert_ne!(t.stream(0).next_u64(), t.stream(1).next_u64());
+        assert_ne!(SeedTree::new(1).stream(0).next_u64(), SeedTree::new(2).stream(0).next_u64());
+    }
+
+    #[test]
+    fn normal_pair_has_sane_moments() {
+        let t = SeedTree::new(7);
+        let mut rng = t.rng();
+        let n = 40_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n / 2 {
+            let (a, b) = normal_pair(&mut rng);
+            sum += a + b;
+            sum2 += a * a + b * b;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn label_hash_is_stable() {
+        // Pin the derivation so saved experiment artifacts stay valid.
+        let t = SeedTree::new(0);
+        assert_eq!(t.child("gauge").seed(), t.child("gauge").seed());
+        assert_ne!(t.child("a").seed(), t.child("b").seed());
+    }
+}

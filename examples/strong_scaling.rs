@@ -1,0 +1,54 @@
+//! Strong-scaling survey on the simulated Edge cluster: regenerates the
+//! flavor of every scaling figure at the command line.
+//!
+//! ```sh
+//! cargo run --release --example strong_scaling
+//! ```
+
+use lqcd::perf::solver_model::{StaggeredIterModel, WilsonIterModel};
+use lqcd::perf::sweep;
+use lqcd::prelude::*;
+
+fn main() -> Result<()> {
+    let model = edge();
+    println!("cluster model: {}\n", model.name);
+
+    println!("── Fig. 5 — Wilson-clover dslash, V = 32³×256, 12-recon ──");
+    println!("{:>6} {:>6} {:>14} {:>14}", "GPUs", "prec", "Gflops/GPU", "total Tflops");
+    for p in sweep::fig5(&model)? {
+        println!(
+            "{:>6} {:>6} {:>14.1} {:>14.2}",
+            p.gpus, p.precision, p.gflops_per_gpu, p.total_tflops
+        );
+    }
+
+    println!("\n── Fig. 6 — asqtad dslash, V = 64³×192, by partitioning ──");
+    println!("{:>6} {:>6} {:>6} {:>14}", "GPUs", "dims", "prec", "Gflops/GPU");
+    for p in sweep::fig6(&model)? {
+        println!("{:>6} {:>6} {:>6} {:>14.1}", p.gpus, p.scheme, p.precision, p.gflops_per_gpu);
+    }
+
+    println!("\n── Figs. 7/8 — BiCGstab vs GCR-DD, V = 32³×256 ──");
+    println!("{:>6} {:>10} {:>10} {:>10} {:>8}", "GPUs", "solver", "Tflops", "TTS (s)", "iters");
+    let im = WilsonIterModel::default();
+    for p in sweep::fig7_fig8(&model, &im)? {
+        println!(
+            "{:>6} {:>10} {:>10.2} {:>10.2} {:>8.0}",
+            p.gpus, p.solver, p.tflops, p.time_to_solution, p.iterations
+        );
+    }
+
+    println!("\n── Fig. 9 — capability-machine context (same volume) ──");
+    println!("{:>8} {:>16} {:>10}", "cores", "machine", "Tflops");
+    for p in sweep::fig9() {
+        println!("{:>8} {:>16} {:>10.2}", p.cores, p.machine, p.tflops);
+    }
+
+    println!("\n── Fig. 10 — asqtad multi-shift solver, V = 64³×192 ──");
+    println!("{:>6} {:>6} {:>14}", "GPUs", "dims", "total Tflops");
+    let sm = StaggeredIterModel::default();
+    for p in sweep::fig10(&model, &sm)? {
+        println!("{:>6} {:>6} {:>14.2}", p.gpus, p.scheme, p.total_tflops);
+    }
+    Ok(())
+}

@@ -1,0 +1,131 @@
+//! Regression tests pinning the *shape* of every evaluation figure: who
+//! wins, by roughly what factor, and where the crossovers fall. These are
+//! the workspace's contract with the paper.
+
+use lqcd::perf::solver_model::{StaggeredIterModel, WilsonIterModel};
+use lqcd::perf::sweep;
+use lqcd::prelude::*;
+
+#[test]
+fn fig5_contract() {
+    let pts = sweep::fig5(&edge()).unwrap();
+    let v = |prec: &str, gpus: usize| {
+        pts.iter().find(|p| p.precision == prec && p.gpus == gpus).unwrap().gflops_per_gpu
+    };
+    // Strong-scaling departure beyond 32 GPUs: 8→32 loses less than half
+    // per GPU, 32→256 loses much more.
+    assert!(v("SP", 32) > 0.55 * v("SP", 8));
+    assert!(v("SP", 256) < 0.35 * v("SP", 32));
+    // HP advantage ≈ 1.5× at small scale, diminished at 256.
+    let small = v("HP", 8) / v("SP", 8);
+    let large = v("HP", 256) / v("SP", 256);
+    assert!(small > 1.4 && large < small - 0.15, "HP/SP: {small} -> {large}");
+    // Aggregate throughput still rises with GPUs (it's the per-GPU curve
+    // that collapses).
+    let total = |gpus: usize| v("SP", gpus) * gpus as f64;
+    assert!(total(256) > total(32));
+}
+
+#[test]
+fn fig6_contract() {
+    let pts = sweep::fig6(&edge()).unwrap();
+    let v = |scheme: &str, gpus: usize, prec: &str| {
+        pts.iter()
+            .find(|p| p.scheme == scheme && p.gpus == gpus && p.precision == prec)
+            .map(|p| p.gflops_per_gpu)
+    };
+    // "the XYZT partitioning scheme, which has the worst single-GPU
+    // performance, obtains the best performance on 256 GPUs" — at low
+    // counts fewer partitioned dims win, at 256 XYZT is on top.
+    let (zt32, xyzt32) = (v("ZT", 32, "SP").unwrap(), v("XYZT", 32, "SP").unwrap());
+    assert!(zt32 >= xyzt32, "at 32 GPUs ZT should lead: {zt32} vs {xyzt32}");
+    let (zt256, xyzt256) = (v("ZT", 256, "SP").unwrap(), v("XYZT", 256, "SP").unwrap());
+    assert!(xyzt256 > zt256, "at 256 GPUs XYZT should lead: {xyzt256} vs {zt256}");
+    // SP ≈ 2× DP where both exist (bandwidth-bound kernels).
+    let ratio = v("XYZT", 64, "SP").unwrap() / v("XYZT", 64, "DP").unwrap();
+    assert!((1.5..2.5).contains(&ratio), "SP/DP {ratio}");
+}
+
+#[test]
+fn fig7_fig8_contract() {
+    let pts = sweep::fig7_fig8(&edge(), &WilsonIterModel::default()).unwrap();
+    let tts = |solver: &str, gpus: usize| {
+        pts.iter()
+            .find(|p| p.solver == solver && p.gpus == gpus)
+            .unwrap()
+            .time_to_solution
+    };
+    // Crossover: BiCGstab superior (or equal) at ≤32 GPUs, GCR-DD wins
+    // beyond, with the improvement growing toward the paper's 1.5–1.6×.
+    assert!(tts("BiCGstab", 32) <= tts("GCR-DD", 32) * 1.05);
+    for gpus in [64usize, 128, 256] {
+        let win = tts("BiCGstab", gpus) / tts("GCR-DD", gpus);
+        assert!(win > 1.25, "GCR-DD should win at {gpus}: {win}");
+    }
+    // BiCGstab stops scaling: ≤25 % total gain from 64 → 256.
+    assert!(tts("BiCGstab", 64) / tts("BiCGstab", 256) < 1.25);
+    // GCR-DD exceeds 10 sustained Tflops at ≥128 GPUs (§9.1).
+    let tf = |gpus: usize| {
+        pts.iter().find(|p| p.solver == "GCR-DD" && p.gpus == gpus).unwrap().tflops
+    };
+    assert!(tf(128) >= 10.0 && tf(256) >= 10.0);
+}
+
+#[test]
+fn fig9_contract() {
+    let pts = sweep::fig9();
+    // All three machines present with multiple core counts, peaking in
+    // the paper's 10–17 Tflops band above 16 384 cores.
+    for name in ["Intrepid BG/P", "Jaguar XT4", "Jaguar XT5"] {
+        assert!(pts.iter().filter(|p| p.machine == name).count() >= 3, "{name} missing");
+    }
+    let peak = pts.iter().map(|p| p.tflops).fold(0.0f64, f64::max);
+    assert!((10.0..20.0).contains(&peak));
+    let big = pts.iter().filter(|p| p.cores > 16_384).map(|p| p.tflops).fold(0.0f64, f64::max);
+    assert!(big >= 10.0, "10+ Tflops band should be reached above 16K cores");
+}
+
+#[test]
+fn fig10_contract() {
+    let pts = sweep::fig10(&edge(), &StaggeredIterModel::default()).unwrap();
+    let v = |scheme: &str, gpus: usize| {
+        pts.iter()
+            .find(|p| p.scheme == scheme && p.gpus == gpus)
+            .map(|p| p.total_tflops)
+            .unwrap()
+    };
+    // Reasonable strong scaling 64→256 (paper: 2.56×) and a total in the
+    // few-Tflops range at 256 (paper: 5.49).
+    let speedup = v("XYZT", 256) / v("XYZT", 64);
+    assert!((1.7..3.2).contains(&speedup), "64→256 speedup {speedup}");
+    assert!((3.0..9.0).contains(&v("XYZT", 256)));
+    // Multi-dimensional partitioning beats ZT at 256 GPUs.
+    assert!(v("XYZT", 256) > v("ZT", 256));
+}
+
+#[test]
+fn in_text_claims() {
+    // §1: LQCD needs ≈ 1 byte/flop in single precision.
+    let cfg = lqcd::perf::cost::OpConfig {
+        kind: OperatorKind::Wilson,
+        precision: Precision::Single,
+        recon: Recon::None,
+    };
+    let intensity = cfg.flops_per_site() / cfg.bytes_per_site();
+    assert!((0.7..1.3).contains(&intensity));
+    // §9.1: a single GPU at the 256-GPU local volume is ≈ 2× slower than
+    // at the 16-GPU local volume.
+    let m = edge();
+    let ratio = m.eff_bandwidth(262_144) / m.eff_bandwidth(16_384);
+    assert!((1.6..2.4).contains(&ratio));
+    // §9.2: one GPU ≈ 74 Kraken cores (942 Gflops at 4096 cores).
+    let per_core = lqcd::perf::capability::KRAKEN_GFLOPS_AT_4096 / 4096.0;
+    let pts = sweep::fig10(&m, &StaggeredIterModel::default()).unwrap();
+    let gpu_gflops = pts
+        .iter()
+        .find(|p| p.scheme == "XYZT" && p.gpus == 256)
+        .map(|p| p.total_tflops * 1000.0 / 256.0)
+        .unwrap();
+    let cores_per_gpu = gpu_gflops / per_core;
+    assert!((40.0..110.0).contains(&cores_per_gpu), "1 GPU ≈ {cores_per_gpu:.0} cores");
+}
