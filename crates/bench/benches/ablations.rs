@@ -69,16 +69,21 @@ fn kernel_split(c: &mut Criterion) {
 fn multirank_dslash(c: &mut Criterion) {
     let mut g = c.benchmark_group("multirank_dslash");
     g.sample_size(10);
-    for (label, shape) in [("1rank", Dims([1, 1, 1, 1])), ("2ranks_T", Dims([1, 1, 1, 2])), ("4ranks_ZT", Dims([1, 1, 2, 2]))]
-    {
+    for (label, shape) in [
+        ("1rank", Dims([1, 1, 1, 1])),
+        ("2ranks_T", Dims([1, 1, 1, 2])),
+        ("4ranks_ZT", Dims([1, 1, 2, 2])),
+    ] {
         g.bench_function(label, |b| {
             b.iter(|| {
                 let grid = ProcessGrid::new(shape, GLOBAL).unwrap();
                 let grid2 = grid.clone();
                 let sums = run_on_grid(grid, move |mut comm| {
                     let seed = SeedTree::new(3);
-                    let sub =
-                        Arc::new(SubLattice::for_rank(&grid2, lqcd_comms::Communicator::rank(&comm)));
+                    let sub = Arc::new(SubLattice::for_rank(
+                        &grid2,
+                        lqcd_comms::Communicator::rank(&comm),
+                    ));
                     let faces = FaceGeometry::new(&sub, WILSON_DEPTH).unwrap();
                     let mut gauge = GaugeField::<f64>::generate(
                         sub.clone(),
@@ -115,9 +120,7 @@ fn fused_shift_update(c: &mut Criterion) {
     let mut x = z.clone();
     let mut p = z.clone();
     let mut g = c.benchmark_group("multishift_update");
-    g.bench_function("fused", |b| {
-        b.iter(|| blas::shift_update(0.3, -0.1, &z, &mut x, &mut p))
-    });
+    g.bench_function("fused", |b| b.iter(|| blas::shift_update(0.3, -0.1, &z, &mut x, &mut p)));
     g.bench_function("unfused", |b| {
         b.iter(|| {
             blas::axpy(0.3, &p, &mut x);

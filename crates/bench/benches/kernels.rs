@@ -139,7 +139,7 @@ fn half_precision(c: &mut Criterion) {
 }
 
 fn whole_solves(c: &mut Criterion) {
-    use lqcd_core::{WilsonProblem, run_wilson_bicgstab, run_wilson_gcr_dd};
+    use lqcd_core::{run_wilson_bicgstab, run_wilson_gcr_dd, WilsonProblem};
     use lqcd_lattice::ProcessGrid;
     let p = WilsonProblem::small();
     let mut g = c.benchmark_group("solves");

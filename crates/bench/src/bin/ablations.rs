@@ -8,10 +8,10 @@
 //! * GCR restart length (kmax).
 
 use lqcd_bench::write_artifact;
+use lqcd_lattice::{Dims, PartitionScheme};
 use lqcd_perf::cost::{OpConfig, PartitionGeometry};
 use lqcd_perf::solver_model::{gcr_dd_solve, WilsonIterModel};
 use lqcd_perf::{edge, edge_gpu_direct, simulate_dslash, OperatorKind, Precision, Recon};
-use lqcd_lattice::{Dims, PartitionScheme};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -67,21 +67,30 @@ fn main() {
         // More MR steps cost more block work but strengthen the
         // preconditioner: model the iteration saving as ∝ steps^-0.3
         // around the calibrated 10-step point.
-        let mut im = WilsonIterModel::default();
-        im.mr_steps = steps;
+        let mut im = WilsonIterModel { mr_steps: steps, ..Default::default() };
         im.gcr_outer_ref *= (10.0 / steps as f64).powf(0.3);
         let s = gcr_dd_solve(&base, &geo256, &sp, &hp, &im);
-        println!("{:>4} MR steps: TTS {:>6.2} s ({:.0} outer iters)", steps, s.time_to_solution, s.iterations);
-        rows.push(AblationRow { name: format!("mr_{steps}"), gpus: 256, value: s.time_to_solution });
+        println!(
+            "{:>4} MR steps: TTS {:>6.2} s ({:.0} outer iters)",
+            steps, s.time_to_solution, s.iterations
+        );
+        rows.push(AblationRow {
+            name: format!("mr_{steps}"),
+            gpus: 256,
+            value: s.time_to_solution,
+        });
     }
 
     println!("\n── GCR restart length kmax: TTS at 256 GPUs (model) ──");
     for kmax in [8usize, 16, 32] {
-        let mut im = WilsonIterModel::default();
-        im.kmax = kmax;
+        let im = WilsonIterModel { kmax, ..Default::default() };
         let s = gcr_dd_solve(&base, &geo256, &sp, &hp, &im);
         println!("{:>4} kmax: TTS {:>6.2} s", kmax, s.time_to_solution);
-        rows.push(AblationRow { name: format!("kmax_{kmax}"), gpus: 256, value: s.time_to_solution });
+        rows.push(AblationRow {
+            name: format!("kmax_{kmax}"),
+            gpus: 256,
+            value: s.time_to_solution,
+        });
     }
 
     write_artifact("ablations", &rows);

@@ -3,9 +3,9 @@
 //! the paper highlights for small subvolumes.
 
 use lqcd_bench::write_artifact;
+use lqcd_lattice::{Dims, PartitionScheme};
 use lqcd_perf::cost::{OpConfig, PartitionGeometry};
 use lqcd_perf::{edge, simulate_dslash, OperatorKind, Precision, Recon};
-use lqcd_lattice::{Dims, PartitionScheme};
 
 fn main() {
     let model = edge();
@@ -15,7 +15,10 @@ fn main() {
         recon: Recon::Twelve,
     };
     println!("Fig. 4 — stream schedule of one dslash application (V = 32³×256)");
-    println!("{:>6} {:>12} {:>12} {:>12} {:>8}", "GPUs", "total µs", "interior µs", "idle µs", "tasks");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>8}",
+        "GPUs", "total µs", "interior µs", "idle µs", "tasks"
+    );
     let mut artifacts = Vec::new();
     for gpus in [16usize, 64, 256] {
         let grid = PartitionScheme::XYZT.grid(Dims::symm(32, 256), gpus).expect("grid");

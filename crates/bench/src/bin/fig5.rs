@@ -21,7 +21,9 @@ fn main() {
                 p.gflops_per_gpu,
                 p.gflops_per_gpu / r
             ),
-            None => println!("{:>6} {:>6} {:>12} {:>12.1}", p.gpus, p.precision, "-", p.gflops_per_gpu),
+            None => {
+                println!("{:>6} {:>6} {:>12} {:>12.1}", p.gpus, p.precision, "-", p.gflops_per_gpu)
+            }
         }
     }
     // Shape summary.

@@ -15,9 +15,7 @@ fn main() {
         "GPUs", "BiCG paper≈", "BiCG model", "GCR paper≈", "GCR model", "win paper", "win model"
     );
     let tts = |solver: &str, gpus: usize| {
-        pts.iter()
-            .find(|p| p.solver == solver && p.gpus == gpus)
-            .map(|p| p.time_to_solution)
+        pts.iter().find(|p| p.solver == solver && p.gpus == gpus).map(|p| p.time_to_solution)
     };
     for &(gpus, b_ref, g_ref) in &paper::FIG8 {
         let (Some(b), Some(g)) = (tts("BiCGstab", gpus), tts("GCR-DD", gpus)) else { continue };

@@ -25,10 +25,7 @@ fn main() {
     problem.gcr.tol = 1e-7;
     match measure_dd_block_dependence(&problem, &[1, 4, 16]) {
         Ok(points) => {
-            println!(
-                "{:>8} {:>10} {:>12} {:>12}",
-                "ranks", "block_cb", "GCR-DD outer", "BiCGstab"
-            );
+            println!("{:>8} {:>10} {:>12} {:>12}", "ranks", "block_cb", "GCR-DD outer", "BiCGstab");
             for p in &points {
                 println!(
                     "{:>8} {:>10} {:>12} {:>12}",

@@ -50,6 +50,18 @@ pub trait Communicator {
         self.allreduce_sum(&mut buf)?;
         Ok((buf[0], buf[1]))
     }
+
+    /// Retransmissions this endpoint has performed under the
+    /// deadline/retry protocol (0 for backends without one).
+    fn exchange_retries(&self) -> u64 {
+        0
+    }
+
+    /// Injected faults this endpoint's world has absorbed so far
+    /// (0 when no fault plan is attached).
+    fn faults_survived(&self) -> u64 {
+        0
+    }
 }
 
 /// A rank-local shared handle to a communicator, so several operator
@@ -85,8 +97,13 @@ impl<C: Communicator> Communicator for SharedComm<C> {
     fn grid(&self) -> &ProcessGrid {
         &self.grid
     }
-    fn send_recv(&mut self, mu: usize, forward: bool, send: &[f64], recv: &mut [f64])
-        -> Result<()> {
+    fn send_recv(
+        &mut self,
+        mu: usize,
+        forward: bool,
+        send: &[f64],
+        recv: &mut [f64],
+    ) -> Result<()> {
         self.inner.borrow_mut().send_recv(mu, forward, send, recv)
     }
     fn allreduce_sum(&mut self, vals: &mut [f64]) -> Result<()> {
@@ -94,6 +111,12 @@ impl<C: Communicator> Communicator for SharedComm<C> {
     }
     fn allreduce_max(&mut self, vals: &mut [f64]) -> Result<()> {
         self.inner.borrow_mut().allreduce_max(vals)
+    }
+    fn exchange_retries(&self) -> u64 {
+        self.inner.borrow().exchange_retries()
+    }
+    fn faults_survived(&self) -> u64 {
+        self.inner.borrow().faults_survived()
     }
 }
 

@@ -1,26 +1,127 @@
 //! The threaded multi-rank backend: one thread per "GPU".
 //!
-//! Each rank owns a mailbox (an unbounded crossbeam channel). Sends are
-//! non-blocking; receives match on `(source, tag)` with a pending queue to
-//! tolerate out-of-order arrival across tags — the same matching semantics
-//! MPI gives the paper's implementation. Reductions run as
-//! gather-to-root + broadcast over the same mailboxes.
+//! Each rank owns a mailbox (an unbounded `std::sync::mpsc` channel).
+//! Sends are non-blocking; receives match on `(source, tag)` with a
+//! pending queue to tolerate out-of-order arrival across tags — the same
+//! matching semantics MPI gives the paper's implementation. Reductions
+//! run as gather-to-root + broadcast over the same mailboxes.
+//!
+//! On top of that sits the fault-tolerance layer this crate's chaos
+//! tests exercise:
+//!
+//! * **Deadline receives** — every receive polls in short
+//!   `recv_timeout` slices against a [`CommConfig`] deadline and returns
+//!   [`Error::Timeout`] instead of blocking forever;
+//! * **Retry/ack protocol** — with `retries > 0`, exchanges become a
+//!   stop-and-wait ARQ: data messages are acknowledged, retransmitted on
+//!   backoff expiry, and deduplicated by sequence number, so dropped or
+//!   duplicated messages are survived transparently (reductions use the
+//!   root's broadcast as the implicit ack and retransmit their upward
+//!   contributions);
+//! * **World poisoning** — when a rank dies, [`PoisonHandle::poison`]
+//!   marks the shared world; every other rank's receive loop notices
+//!   within one poll slice and returns [`Error::RankFailure`] instead of
+//!   waiting out its deadline;
+//! * **Fault injection** — a [`crate::faulty::FaultPlan`] attached at
+//!   world construction intercepts messages on the wire (drop,
+//!   duplicate, delay, corrupt) deterministically.
 
 use crate::comm::Communicator;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::faulty::{FaultKind, FaultState};
 use lqcd_lattice::ProcessGrid;
 use lqcd_util::{Error, Result};
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
-/// Message tags: exchanges carry `(mu, dir, sequence)`, reductions use
-/// reserved tag spaces.
+/// Message tags: exchanges carry `(mu, dir, sequence)`, acks mirror the
+/// data tag they acknowledge, reductions use reserved tag spaces.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 struct Tag(u64);
 
-const TAG_EXCHANGE: u64 = 0;
-const TAG_REDUCE_UP: u64 = 1 << 60;
-const TAG_REDUCE_DOWN: u64 = 2 << 60;
+pub(crate) const TAG_CLASS_MASK: u64 = 3 << 60;
+pub(crate) const TAG_EXCHANGE: u64 = 0;
+pub(crate) const TAG_REDUCE_UP: u64 = 1 << 60;
+pub(crate) const TAG_REDUCE_DOWN: u64 = 2 << 60;
+pub(crate) const TAG_ACK: u64 = 3 << 60;
+const TAG_MU_SHIFT: u32 = 57;
+const TAG_DIR_SHIFT: u32 = 56;
+const TAG_SEQ_MASK: u64 = (1 << 56) - 1;
+
+pub(crate) fn tag_class(tag: u64) -> u64 {
+    tag & TAG_CLASS_MASK
+}
+
+pub(crate) fn tag_mu(tag: u64) -> usize {
+    ((tag >> TAG_MU_SHIFT) & 0b11) as usize
+}
+
+fn tag_dir(tag: u64) -> usize {
+    ((tag >> TAG_DIR_SHIFT) & 1) as usize
+}
+
+fn tag_seq(tag: u64) -> u64 {
+    tag & TAG_SEQ_MASK
+}
+
+/// Granularity of the receive poll: how often a blocked receive checks
+/// the poison flag and retransmit schedule.
+const POLL_SLICE: Duration = Duration::from_millis(20);
+
+/// Deadline/retry policy for a threaded world.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CommConfig {
+    /// Hard deadline per receive operation; when it expires the receive
+    /// returns [`Error::Timeout`] instead of blocking further.
+    pub timeout: Duration,
+    /// Number of retransmissions per exchange (`0` disables the
+    /// ack/retransmit protocol entirely: sends are fire-and-forget and a
+    /// lost message surfaces as a timeout).
+    pub retries: u32,
+    /// How long to wait for an ack before retransmitting.
+    pub backoff: Duration,
+}
+
+impl Default for CommConfig {
+    fn default() -> Self {
+        CommConfig {
+            timeout: Duration::from_secs(30),
+            retries: 0,
+            backoff: Duration::from_millis(40),
+        }
+    }
+}
+
+impl CommConfig {
+    /// A config suited to chaos tests: short deadline, ARQ enabled.
+    pub fn resilient() -> Self {
+        CommConfig {
+            timeout: Duration::from_secs(10),
+            retries: 8,
+            backoff: Duration::from_millis(25),
+        }
+    }
+
+    /// Override the receive deadline.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Override the retransmission budget.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Override the retransmission backoff.
+    pub fn with_backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
+        self
+    }
+}
 
 struct Message {
     from: usize,
@@ -28,89 +129,362 @@ struct Message {
     payload: Vec<f64>,
 }
 
-/// Shared state for a world of ranks.
+/// Shared state for a world of ranks: the grid, the deadline policy,
+/// the poison flag raised when a rank dies, and the optional fault
+/// plan. (Mailbox senders are cloned per rank rather than shared here.)
 struct World {
     grid: ProcessGrid,
-    senders: Vec<Sender<Message>>,
+    config: CommConfig,
+    poisoned: AtomicBool,
+    dead: Mutex<Vec<(usize, String)>>,
+    faults: Option<Arc<FaultState>>,
+}
+
+/// A cloneable handle that can mark the world as having lost a rank.
+/// Blocked peers observe the flag within one poll slice and fail their
+/// pending operation with [`Error::RankFailure`].
+#[derive(Clone)]
+pub struct PoisonHandle {
+    world: Arc<World>,
+}
+
+impl PoisonHandle {
+    /// Record that `rank` died with `detail` and wake all blocked peers.
+    pub fn poison(&self, rank: usize, detail: String) {
+        self.world.dead.lock().unwrap_or_else(|e| e.into_inner()).push((rank, detail));
+        self.world.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Whether any rank has died.
+    pub fn is_poisoned(&self) -> bool {
+        self.world.poisoned.load(Ordering::Acquire)
+    }
+}
+
+/// A communicator backed by a shared threaded world, from which a
+/// [`PoisonHandle`] can be extracted (used by the fallible launcher to
+/// wake peers when this rank's body panics).
+pub trait WorldComm: Communicator {
+    /// Handle onto this communicator's world poison flag.
+    fn poison_handle(&self) -> PoisonHandle;
 }
 
 /// Per-rank handle to the threaded world.
 pub struct ThreadedComm {
     world: Arc<World>,
+    senders: Vec<Sender<Message>>,
     rank: usize,
     inbox: Receiver<Message>,
     pending: VecDeque<Message>,
     /// Per-(mu, dir) sequence numbers so repeated exchanges on the same
-    /// edge match in order.
+    /// edge match in order; doubles as the dedup horizon (anything below
+    /// the counter is a stale retransmit).
     seq: [[u64; 2]; 4],
     reduce_seq: u64,
+    /// Root's cached result of the last completed reduction, re-sent
+    /// when a stale upward retransmit shows the original broadcast was
+    /// lost.
+    last_reduce: Option<(u64, Vec<f64>)>,
+    /// Retransmissions performed (exchanges and reductions).
+    retries_performed: u64,
 }
 
 impl ThreadedComm {
-    /// Create communicators for every rank of `grid`. Index `i` of the
-    /// returned vector belongs to rank `i`; hand each to its own thread.
+    /// Create communicators for every rank of `grid` with the default
+    /// (no-retry, long-deadline) policy. Index `i` of the returned
+    /// vector belongs to rank `i`; hand each to its own thread.
     pub fn world(grid: ProcessGrid) -> Vec<ThreadedComm> {
+        Self::build_world(grid, CommConfig::default(), None)
+    }
+
+    /// Create communicators with an explicit deadline/retry policy.
+    pub fn world_with(grid: ProcessGrid, config: CommConfig) -> Vec<ThreadedComm> {
+        Self::build_world(grid, config, None)
+    }
+
+    pub(crate) fn build_world(
+        grid: ProcessGrid,
+        config: CommConfig,
+        faults: Option<Arc<FaultState>>,
+    ) -> Vec<ThreadedComm> {
         let n = grid.num_ranks();
         let mut senders = Vec::with_capacity(n);
         let mut inboxes = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             senders.push(tx);
             inboxes.push(rx);
         }
-        let world = Arc::new(World { grid, senders });
+        let world = Arc::new(World {
+            grid,
+            config,
+            poisoned: AtomicBool::new(false),
+            dead: Mutex::new(Vec::new()),
+            faults,
+        });
         inboxes
             .into_iter()
             .enumerate()
             .map(|(rank, inbox)| ThreadedComm {
                 world: world.clone(),
+                senders: senders.clone(),
                 rank,
                 inbox,
                 pending: VecDeque::new(),
                 seq: [[0; 2]; 4],
                 reduce_seq: 0,
+                last_reduce: None,
+                retries_performed: 0,
             })
             .collect()
     }
 
-    fn post(&self, to: usize, tag: Tag, payload: Vec<f64>) -> Result<()> {
-        self.world.senders[to]
-            .send(Message { from: self.rank, tag, payload })
-            .map_err(|_| Error::Comms(format!("rank {to} mailbox closed")))
+    fn config(&self) -> CommConfig {
+        self.world.config
     }
 
-    /// Blocking receive matching `(from, tag)`, buffering mismatches.
-    fn recv_match(&mut self, from: usize, tag: Tag) -> Result<Vec<f64>> {
-        if let Some(pos) = self.pending.iter().position(|m| m.from == from && m.tag == tag) {
-            return Ok(self.pending.remove(pos).expect("position valid").payload);
+    fn check_poison(&self) -> Result<()> {
+        if self.world.poisoned.load(Ordering::Acquire) {
+            let dead = self.world.dead.lock().unwrap_or_else(|e| e.into_inner());
+            let (rank, detail) =
+                dead.first().cloned().unwrap_or((usize::MAX, "world poisoned".to_string()));
+            return Err(Error::RankFailure { rank, detail });
         }
-        loop {
-            let msg = self
-                .inbox
-                .recv()
-                .map_err(|_| Error::Comms(format!("rank {} inbox closed", self.rank)))?;
-            if msg.from == from && msg.tag == tag {
-                return Ok(msg.payload);
+        Ok(())
+    }
+
+    /// Deliver a message, applying any wire faults the plan injects.
+    fn post(&mut self, to: usize, tag: Tag, payload: Vec<f64>) -> Result<()> {
+        self.check_poison()?;
+        let mut payload = payload;
+        let mut copies = 1usize;
+        if let Some(faults) = &self.world.faults {
+            match faults.wire_action(self.rank, to, tag.0) {
+                None => {}
+                Some(FaultKind::Drop) => return Ok(()),
+                Some(FaultKind::Duplicate) => copies = 2,
+                Some(FaultKind::Corrupt) => faults.corrupt(&mut payload),
+                Some(FaultKind::Delay(delay)) => {
+                    let sender = self.senders[to].clone();
+                    let from = self.rank;
+                    std::thread::spawn(move || {
+                        std::thread::sleep(delay);
+                        // The world may have shut down meanwhile; a
+                        // closed mailbox just swallows the late message.
+                        let _ = sender.send(Message { from, tag, payload });
+                    });
+                    return Ok(());
+                }
+                // Rank-level faults are injected by `FaultyComm`, not on
+                // the wire.
+                Some(FaultKind::Stall(_)) | Some(FaultKind::Die) => {}
             }
-            self.pending.push_back(msg);
+        }
+        for i in 0..copies {
+            let body = if i + 1 == copies { std::mem::take(&mut payload) } else { payload.clone() };
+            // Sends are fire-and-forget: a closed mailbox means the peer
+            // already exited. If it *completed* (e.g. the reduction root
+            // posted its broadcast and returned while our retransmission
+            // was in flight) nothing is owed to us; if it *died*, the
+            // poison flag reports it at our next receive. Either way the
+            // deadline bounds us — erroring here would turn a benign
+            // shutdown race into a spurious failure.
+            let _ = self.senders[to].send(Message { from: self.rank, tag, payload: body });
+        }
+        Ok(())
+    }
+
+    /// One bounded poll of the inbox.
+    fn recv_slice(&mut self, dur: Duration) -> Result<Option<Message>> {
+        match self.inbox.recv_timeout(dur) {
+            Ok(msg) => Ok(Some(msg)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(Error::Comms(format!("rank {} inbox closed", self.rank)))
+            }
+        }
+    }
+
+    /// Take a matching message out of the pending queue, dropping any
+    /// duplicate copies of it.
+    fn take_pending(&mut self, from: usize, tag: Tag) -> Option<Vec<f64>> {
+        let pos = self.pending.iter().position(|m| m.from == from && m.tag == tag)?;
+        let msg = self.pending.remove(pos).expect("position valid");
+        self.pending.retain(|m| !(m.from == from && m.tag == tag));
+        Some(msg.payload)
+    }
+
+    /// File a message that doesn't match the operation in progress:
+    /// future messages are queued for later matching; stale retransmits
+    /// (sequence number below the edge's counter) are deduplicated and —
+    /// under the ack protocol — re-acknowledged so their sender stops
+    /// retransmitting.
+    fn stash(&mut self, msg: Message) -> Result<()> {
+        let t = msg.tag.0;
+        let arq = self.config().retries > 0;
+        match tag_class(t) {
+            TAG_EXCHANGE => {
+                let (mu, dir, seq) = (tag_mu(t), tag_dir(t), tag_seq(t));
+                if seq < self.seq[mu][dir] {
+                    // Stale retransmit of an exchange we already
+                    // completed: our ack was lost — re-ack and drop.
+                    if arq {
+                        let ack = Tag(TAG_ACK | (t & !TAG_CLASS_MASK));
+                        self.post(msg.from, ack, Vec::new())?;
+                    }
+                } else {
+                    self.pending.push_back(msg);
+                }
+            }
+            TAG_ACK => {
+                // Acks awaited by an exchange are consumed in its loop;
+                // any reaching here are late duplicates.
+            }
+            TAG_REDUCE_UP => {
+                // Contributions at or beyond the last *completed*
+                // reduction belong to one in progress (they arrive out
+                // of rank order while the root collects sequentially) —
+                // queue them. Anything older is a stale retransmit whose
+                // sender never saw our broadcast: re-send the cached
+                // result if it's the most recent one.
+                let seq = tag_seq(t);
+                match &self.last_reduce {
+                    Some((done, vals)) if seq <= *done => {
+                        if seq == *done {
+                            let vals = vals.clone();
+                            self.post(msg.from, Tag(TAG_REDUCE_DOWN | seq), vals)?;
+                        }
+                        // else: older than the cache — drop.
+                    }
+                    _ => self.pending.push_back(msg),
+                }
+            }
+            _ => {
+                // TAG_REDUCE_DOWN: the broadcast for the reduction in
+                // progress (sequence `reduce_seq - 1`) is consumed by
+                // the reduce loop itself, so anything strictly older is
+                // a stale duplicate.
+                if tag_seq(t) + 1 >= self.reduce_seq {
+                    self.pending.push_back(msg);
+                }
+                // else: stale duplicate broadcast — drop.
+            }
+        }
+        Ok(())
+    }
+
+    /// Deadline receive matching `(from, tag)`, polling in short slices
+    /// so poisoning is observed promptly. `mu` only labels the error.
+    fn recv_deadline(&mut self, from: usize, tag: Tag, mu: Option<usize>) -> Result<Vec<f64>> {
+        if let Some(payload) = self.take_pending(from, tag) {
+            return Ok(payload);
+        }
+        let timeout = self.config().timeout;
+        let start = Instant::now();
+        loop {
+            self.check_poison()?;
+            let waited = start.elapsed();
+            if waited >= timeout {
+                return Err(Error::Timeout { rank: self.rank, peer: from, mu, tag: tag.0, waited });
+            }
+            let slice = (timeout - waited).min(POLL_SLICE);
+            if let Some(msg) = self.recv_slice(slice)? {
+                if msg.from == from && msg.tag == tag {
+                    return Ok(msg.payload);
+                }
+                self.stash(msg)?;
+            }
+        }
+    }
+
+    /// Stop-and-wait ARQ exchange: send with retransmission until acked,
+    /// receive with dedup and acknowledgement, all under one deadline.
+    fn exchange_arq(&mut self, to: usize, from: usize, tag: Tag, send: &[f64]) -> Result<Vec<f64>> {
+        let cfg = self.config();
+        let ack_tag = Tag(TAG_ACK | (tag.0 & !TAG_CLASS_MASK));
+        let start = Instant::now();
+        let mut next_send = start;
+        let mut sends_left = cfg.retries as u64 + 1;
+        let mut got: Option<Vec<f64>> = None;
+        let mut got_ack = false;
+        loop {
+            self.check_poison()?;
+            // Harvest anything that arrived during earlier operations.
+            if got.is_none() {
+                if let Some(payload) = self.take_pending(from, tag) {
+                    self.post(from, ack_tag, Vec::new())?;
+                    got = Some(payload);
+                }
+            }
+            if !got_ack && self.take_pending(to, ack_tag).is_some() {
+                got_ack = true;
+            }
+            if let Some(payload) = got {
+                if got_ack {
+                    return Ok(payload);
+                }
+                got = Some(payload);
+            }
+            let waited = start.elapsed();
+            if waited >= cfg.timeout {
+                // Whichever message is still missing names the culprit.
+                let (peer, tag) = if got.is_none() { (from, tag) } else { (to, ack_tag) };
+                return Err(Error::Timeout {
+                    rank: self.rank,
+                    peer,
+                    mu: Some(tag_mu(tag.0)),
+                    tag: tag.0,
+                    waited,
+                });
+            }
+            let now = Instant::now();
+            if !got_ack && now >= next_send && sends_left > 0 {
+                if sends_left <= cfg.retries as u64 {
+                    self.retries_performed += 1;
+                }
+                sends_left -= 1;
+                next_send = now + cfg.backoff;
+                self.post(to, tag, send.to_vec())?;
+            }
+            let mut slice = (cfg.timeout - waited).min(POLL_SLICE);
+            if !got_ack && sends_left > 0 {
+                slice = slice.min(next_send.saturating_duration_since(Instant::now()));
+            }
+            let Some(msg) = self.recv_slice(slice.max(Duration::from_millis(1)))? else {
+                continue;
+            };
+            if msg.from == from && msg.tag == tag {
+                // Data (or a duplicate of it): ack in both cases — a
+                // duplicate means our previous ack was lost.
+                self.post(from, ack_tag, Vec::new())?;
+                if got.is_none() {
+                    got = Some(msg.payload);
+                }
+            } else if msg.from == to && msg.tag == ack_tag {
+                got_ack = true;
+            } else {
+                self.stash(msg)?;
+            }
         }
     }
 
     fn reduce(&mut self, vals: &mut [f64], combine: fn(f64, f64) -> f64) -> Result<()> {
-        // Binary-tree-free, simple gather to rank 0 then broadcast:
-        // adequate for the correctness path (the perf model prices
-        // reductions independently).
+        // Gather to rank 0 then broadcast: adequate for the correctness
+        // path (the perf model prices reductions independently). The
+        // broadcast doubles as the ack of each upward contribution.
         let n = self.world.grid.num_ranks();
+        let cfg = self.config();
         let seq = self.reduce_seq;
         self.reduce_seq += 1;
         let up = Tag(TAG_REDUCE_UP | seq);
         let down = Tag(TAG_REDUCE_DOWN | seq);
         if self.rank == 0 {
             for from in 1..n {
-                let part = self.recv_match(from, up)?;
+                let part = self.recv_deadline(from, up, None)?;
                 if part.len() != vals.len() {
                     return Err(Error::Comms(format!(
-                        "reduction length mismatch: {} vs {}",
+                        "reduction length mismatch at root: rank {from} sent {} values, \
+                         expected {} (seq {seq})",
                         part.len(),
                         vals.len()
                     )));
@@ -122,11 +496,67 @@ impl ThreadedComm {
             for to in 1..n {
                 self.post(to, down, vals.to_vec())?;
             }
+            // Cache so a lost broadcast can be re-sent on a stale
+            // upward retransmit.
+            self.last_reduce = Some((seq, vals.to_vec()));
         } else {
-            self.post(0, up, vals.to_vec())?;
-            let result = self.recv_match(0, down)?;
+            let start = Instant::now();
+            let mut next_send = start;
+            let mut sends_left = cfg.retries as u64 + 1;
+            let result = loop {
+                self.check_poison()?;
+                if let Some(payload) = self.take_pending(0, down) {
+                    break payload;
+                }
+                let waited = start.elapsed();
+                if waited >= cfg.timeout {
+                    return Err(Error::Timeout {
+                        rank: self.rank,
+                        peer: 0,
+                        mu: None,
+                        tag: down.0,
+                        waited,
+                    });
+                }
+                let now = Instant::now();
+                if now >= next_send && sends_left > 0 {
+                    if sends_left <= cfg.retries as u64 {
+                        self.retries_performed += 1;
+                    }
+                    sends_left -= 1;
+                    next_send = now + cfg.backoff;
+                    self.post(0, up, vals.to_vec())?;
+                }
+                let mut slice = (cfg.timeout - waited).min(POLL_SLICE);
+                if sends_left > 0 {
+                    slice = slice.min(next_send.saturating_duration_since(Instant::now()));
+                }
+                let Some(msg) = self.recv_slice(slice.max(Duration::from_millis(1)))? else {
+                    continue;
+                };
+                if msg.from == 0 && msg.tag == down {
+                    break msg.payload;
+                }
+                self.stash(msg)?;
+            };
+            if result.len() != vals.len() {
+                return Err(Error::Comms(format!(
+                    "reduction length mismatch: root broadcast {} values, expected {} \
+                     (rank {}, seq {seq})",
+                    result.len(),
+                    vals.len(),
+                    self.rank
+                )));
+            }
             vals.copy_from_slice(&result);
         }
+        // Drop leftover duplicates of this (or older) reductions that
+        // retransmission may have queued.
+        self.pending.retain(|m| {
+            let t = m.tag.0;
+            let class = tag_class(t);
+            (class != TAG_REDUCE_UP && class != TAG_REDUCE_DOWN) || tag_seq(t) > seq
+        });
         Ok(())
     }
 }
@@ -157,15 +587,25 @@ impl Communicator for ThreadedComm {
         let dir = forward as usize;
         let seq = self.seq[mu][dir];
         self.seq[mu][dir] += 1;
-        // Tag layout: [mu:2][dir:1][seq:rest] inside the exchange space.
-        let tag = Tag(TAG_EXCHANGE | ((mu as u64) << 57) | ((dir as u64) << 56) | seq);
-        self.post(to, tag, send.to_vec())?;
-        let payload = self.recv_match(from, tag)?;
+        // Tag layout: [class:2][_:1][mu:2][dir:1][seq:rest].
+        let tag = Tag(TAG_EXCHANGE
+            | ((mu as u64) << TAG_MU_SHIFT)
+            | ((dir as u64) << TAG_DIR_SHIFT)
+            | seq);
+        let payload = if self.config().retries > 0 {
+            self.exchange_arq(to, from, tag, send)?
+        } else {
+            self.post(to, tag, send.to_vec())?;
+            self.recv_deadline(from, tag, Some(mu))?
+        };
         if payload.len() != recv.len() {
             return Err(Error::Comms(format!(
-                "exchange length mismatch: got {} expected {}",
+                "exchange length mismatch: rank {} got {} values from peer {from}, \
+                 expected {} (mu {mu}, dir {}, seq {seq})",
+                self.rank,
                 payload.len(),
-                recv.len()
+                recv.len(),
+                if forward { "fwd" } else { "bwd" },
             )));
         }
         recv.copy_from_slice(&payload);
@@ -179,30 +619,102 @@ impl Communicator for ThreadedComm {
     fn allreduce_max(&mut self, vals: &mut [f64]) -> Result<()> {
         self.reduce(vals, f64::max)
     }
+
+    fn exchange_retries(&self) -> u64 {
+        self.retries_performed
+    }
+
+    fn faults_survived(&self) -> u64 {
+        self.world.faults.as_ref().map_or(0, |f| f.hits())
+    }
+}
+
+impl WorldComm for ThreadedComm {
+    fn poison_handle(&self) -> PoisonHandle {
+        PoisonHandle { world: self.world.clone() }
+    }
+}
+
+fn panic_payload(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Panic-safe SPMD launcher over pre-built communicators: run `body`
+/// once per rank, each on its own thread. A panicking rank poisons the
+/// world — so peers blocked on it fail fast with
+/// [`Error::RankFailure`] instead of hanging — and its slot reports the
+/// rank and panic payload.
+pub fn run_world_fallible<C, T, F>(comms: Vec<C>, body: F) -> Vec<Result<T>>
+where
+    C: WorldComm + Send,
+    T: Send,
+    F: Fn(C) -> T + Sync,
+{
+    let mut out: Vec<Result<T>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (rank, comm) in comms.into_iter().enumerate() {
+            let body = &body;
+            let poison = comm.poison_handle();
+            handles.push(scope.spawn(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(comm)));
+                if let Err(payload) = &result {
+                    // `comm` died inside the closure; wake everyone else.
+                    poison.poison(rank, format!("panicked: {}", panic_payload(payload.as_ref())));
+                }
+                result
+            }));
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            out.push(match h.join().expect("launcher thread infrastructure failed") {
+                Ok(v) => Ok(v),
+                Err(payload) => Err(Error::RankFailure {
+                    rank,
+                    detail: format!("panicked: {}", panic_payload(payload.as_ref())),
+                }),
+            });
+        }
+    });
+    out
+}
+
+/// Fallible SPMD launcher over a fresh [`ThreadedComm`] world with the
+/// given deadline/retry policy.
+pub fn run_on_grid_fallible<T, F>(grid: ProcessGrid, config: CommConfig, body: F) -> Vec<Result<T>>
+where
+    T: Send,
+    F: Fn(ThreadedComm) -> T + Sync,
+{
+    run_world_fallible(ThreadedComm::world_with(grid, config), body)
 }
 
 /// SPMD launcher: run `body` once per rank of `grid`, each on its own
-/// thread with its own communicator; returns the per-rank results in rank
-/// order. Panics in any rank propagate.
+/// thread with its own communicator; returns the per-rank results in
+/// rank order. A panic in any rank propagates, naming the rank that
+/// panicked and its payload (see [`run_on_grid_fallible`] for the
+/// non-panicking variant).
 pub fn run_on_grid<T, F>(grid: ProcessGrid, body: F) -> Vec<T>
 where
     T: Send,
     F: Fn(ThreadedComm) -> T + Sync,
 {
-    let comms = ThreadedComm::world(grid);
-    let mut out: Vec<Option<T>> = comms.iter().map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (rank, comm) in comms.into_iter().enumerate() {
-            let body = &body;
-            handles.push((rank, scope.spawn(move |_| body(comm))));
-        }
-        for (rank, h) in handles {
-            out[rank] = Some(h.join().expect("rank thread panicked"));
-        }
-    })
-    .expect("scope failed");
-    out.into_iter().map(|x| x.expect("rank result missing")).collect()
+    run_on_grid_fallible(grid, CommConfig::default(), body)
+        .into_iter()
+        .enumerate()
+        .map(|(slot, r)| match r {
+            Ok(v) => v,
+            Err(Error::RankFailure { rank, detail }) => {
+                panic!("rank {rank} {detail}")
+            }
+            Err(e) => panic!("rank {slot} failed: {e}"),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -296,17 +808,109 @@ mod tests {
     }
 
     #[test]
-    fn mismatched_lengths_error() {
+    fn mismatched_lengths_error_names_the_edge() {
         let results = run_on_grid(grid_1d(2), |mut comm| {
             let mut recv = [0.0f64; 2];
-            comm.send_recv(3, true, &[1.0], &mut recv).err().is_some()
+            comm.send_recv(3, true, &[1.0], &mut recv).err().map(|e| e.to_string())
         });
-        assert!(results.iter().all(|&e| e));
+        for (rank, err) in results.iter().enumerate() {
+            let msg = err.as_deref().expect("mismatch must error");
+            assert!(msg.contains(&format!("rank {rank}")), "{msg}");
+            assert!(msg.contains("mu 3"), "{msg}");
+            assert!(msg.contains("seq 0"), "{msg}");
+        }
     }
 
     #[test]
     fn barrier_completes() {
         let results = run_on_grid(grid_1d(3), |mut comm| comm.barrier().is_ok());
         assert!(results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn exchanges_work_with_arq_enabled() {
+        // The ack/retransmit protocol must be transparent when no faults
+        // are injected.
+        let config = CommConfig::resilient();
+        let grid = ProcessGrid::new(Dims([1, 1, 2, 2]), Dims([4, 4, 8, 8])).unwrap();
+        let results = run_world_fallible(ThreadedComm::world_with(grid, config), |mut comm| {
+            let me = comm.rank() as f64;
+            let mut r1 = [0.0f64];
+            let mut r2 = [0.0f64];
+            comm.send_recv(2, true, &[me], &mut r1).unwrap();
+            comm.send_recv(2, true, &[me + 0.5], &mut r2).unwrap();
+            let sum = comm.sum_scalar(1.0).unwrap();
+            (r1[0], r2[0], sum, comm.exchange_retries())
+        });
+        for r in results {
+            let (a, b, sum, retries) = r.unwrap();
+            assert_eq!(b, a + 0.5);
+            assert_eq!(sum, 4.0);
+            assert_eq!(retries, 0, "no faults, no retransmissions");
+        }
+    }
+
+    #[test]
+    fn panicking_rank_is_reported_and_peers_survive() {
+        let config = CommConfig::default().with_timeout(Duration::from_secs(20));
+        let results = run_on_grid_fallible(grid_1d(3), config, |mut comm| {
+            if comm.rank() == 1 {
+                panic!("injected test panic");
+            }
+            // Rank 1 never arrives: peers must fail fast, not wait out
+            // the 20 s deadline.
+            comm.barrier()
+        });
+        match &results[1] {
+            Err(Error::RankFailure { rank, detail }) => {
+                assert_eq!(*rank, 1);
+                assert!(detail.contains("injected test panic"), "{detail}");
+            }
+            other => panic!("expected rank 1 failure, got {other:?}"),
+        }
+        for rank in [0, 2] {
+            match &results[rank] {
+                Ok(Err(Error::RankFailure { rank: dead, .. })) => assert_eq!(*dead, 1),
+                other => panic!("rank {rank}: expected RankFailure, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn run_on_grid_names_panicking_rank() {
+        let caught = std::panic::catch_unwind(|| {
+            run_on_grid(grid_1d(2), |comm| {
+                if comm.rank() == 1 {
+                    panic!("boom at rank one");
+                }
+                0u8
+            });
+        });
+        let payload = caught.expect_err("must propagate");
+        let msg = payload.downcast_ref::<String>().cloned().expect("string payload");
+        assert!(msg.contains("rank 1"), "{msg}");
+        assert!(msg.contains("boom at rank one"), "{msg}");
+    }
+
+    #[test]
+    fn timeout_replaces_block_forever() {
+        // One rank sends nothing: its peer's receive must end in a
+        // structured Timeout naming the edge, not hang.
+        let config = CommConfig::default().with_timeout(Duration::from_millis(200));
+        let results = run_on_grid_fallible(grid_1d(2), config, |mut comm| {
+            if comm.rank() == 0 {
+                let mut recv = [0.0f64];
+                comm.send_recv(3, true, &[1.0], &mut recv)
+            } else {
+                Ok(())
+            }
+        });
+        match results[0].as_ref().unwrap() {
+            Err(Error::Timeout { rank, peer, mu, waited, .. }) => {
+                assert_eq!((*rank, *peer, *mu), (0, 1, Some(3)));
+                assert!(*waited >= Duration::from_millis(200));
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
     }
 }

@@ -47,8 +47,7 @@ pub fn measure_dd_block_dependence(
             let mut space = EoWilsonSpace::new(op, comm)?;
             let b = p.rhs(&space.op);
             let mut x = space.alloc();
-            let gcr_stats =
-                gcr(&mut space, &mut SchwarzMR::new(p.mr_steps), &mut x, &b, &p.gcr)?;
+            let gcr_stats = gcr(&mut space, &mut SchwarzMR::new(p.mr_steps), &mut x, &b, &p.gcr)?;
             let mut x2 = space.alloc();
             let bi = bicgstab(&mut space, &mut x2, &b, p.tol, p.maxiter)?;
             Ok((gcr_stats.iterations, bi.iterations))

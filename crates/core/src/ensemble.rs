@@ -5,10 +5,10 @@
 //! laptop scale.
 
 use lqcd_comms::SingleComm;
+use lqcd_dirac::StaggeredOp;
 use lqcd_gauge::field::{GaugeField, GaugeStart};
 use lqcd_gauge::heatbath::{heatbath_sweep, overrelax_sweep};
 use lqcd_gauge::{average_plaquette, AsqtadCoeffs, AsqtadLinks};
-use lqcd_dirac::StaggeredOp;
 use lqcd_lattice::{Dims, FaceGeometry, SubLattice};
 use lqcd_util::rng::SeedTree;
 use lqcd_util::{Error, Result};
@@ -53,7 +53,7 @@ pub fn generate_ensemble(p: &EnsembleParams) -> Result<Vec<GaugeField<f64>>> {
     let seeds = SeedTree::new(p.seed);
     let mut g = GaugeField::<f64>::generate(sub, &faces, p.global, &seeds, GaugeStart::Hot);
     let mut sweep_id = 0u64;
-    let mut do_sweeps = |g: &mut GaugeField<f64>, n: usize, sweep_id: &mut u64| {
+    let do_sweeps = |g: &mut GaugeField<f64>, n: usize, sweep_id: &mut u64| {
         for _ in 0..n {
             heatbath_sweep(g, p.global, p.beta, &seeds, *sweep_id);
             overrelax_sweep(g, p.global);
@@ -96,8 +96,7 @@ pub fn analyze_ensemble(
         let comm = SingleComm::new(p.global)?;
         let (x_e, x_o, _) = crate::observables::staggered_propagator(&op, comm, &b, tol, 20_000)?;
         let mut comm = SingleComm::new(p.global)?;
-        let pion =
-            crate::observables::pion_correlator(&x_e, &x_o, p.global.0[3], &mut comm)?;
+        let pion = crate::observables::pion_correlator(&x_e, &x_o, p.global.0[3], &mut comm)?;
         out.push(Measurement { plaquette, pion });
     }
     Ok(out)

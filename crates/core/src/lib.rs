@@ -8,6 +8,9 @@
 //!   parameters) that any rank can instantiate;
 //! * [`drivers`] — SPMD entry points: run a whole distributed solve over
 //!   a process grid with one call, returning per-rank statistics;
+//!   [`drivers::run_wilson_gcr_dd_resilient`] adds the fault-tolerant
+//!   variant (deadline/retry comms, panic-safe launch, precision-fallback
+//!   ladder);
 //! * [`calibration`] — measured-iteration experiments linking the real
 //!   solvers to the performance model's iteration inputs (the
 //!   EXPERIMENTS.md data).
@@ -19,7 +22,7 @@ pub mod observables;
 pub mod problem;
 
 pub use drivers::{
-    run_staggered_multishift, run_wilson_bicgstab, run_wilson_gcr_dd, StaggeredSolveOutcome,
-    WilsonSolveOutcome,
+    run_staggered_multishift, run_wilson_bicgstab, run_wilson_gcr_dd, run_wilson_gcr_dd_resilient,
+    PrecisionRung, StaggeredSolveOutcome, WilsonSolveOutcome,
 };
 pub use problem::{StaggeredProblem, WilsonProblem};

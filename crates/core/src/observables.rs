@@ -142,11 +142,8 @@ pub fn wilson_propagator_column<C: Communicator>(
     b_o: &lqcd_dirac::wilson::SpinorField<f64>,
     tol: f64,
     maxiter: usize,
-) -> Result<(
-    lqcd_dirac::wilson::SpinorField<f64>,
-    lqcd_dirac::wilson::SpinorField<f64>,
-    SolveStats,
-)> {
+) -> Result<(lqcd_dirac::wilson::SpinorField<f64>, lqcd_dirac::wilson::SpinorField<f64>, SolveStats)>
+{
     use lqcd_solvers::{bicgstab, spaces::EoWilsonSpace};
     // b̂ = b_o + (1/4) D̂_oe T⁻¹ b_e.
     let mut tinv_be = op.alloc(Parity::Even);
@@ -181,9 +178,8 @@ pub fn wilson_pion_correlator<C: Communicator>(
     let mut corr = vec![0.0f64; global_t];
     let mut total_iters = 0usize;
     let origin = [0usize; 4];
-    let origin_local = (0..4).all(|d| {
-        origin[d] >= sub.origin[d] && origin[d] < sub.origin[d] + sub.dims.0[d]
-    });
+    let origin_local =
+        (0..4).all(|d| origin[d] >= sub.origin[d] && origin[d] < sub.origin[d] + sub.dims.0[d]);
     for spin in 0..4 {
         for color in 0..3 {
             let mut b_e = op.alloc(Parity::Even);
@@ -220,7 +216,8 @@ pub fn pion_from_problem<C: Communicator>(
     let rank = comm.rank();
     let op = problem.build_operator(grid, rank)?;
     let b = point_source(&op, [0, 0, 0, 0], 0)?;
-    let (x_e, x_o, stats) = staggered_propagator(&op, share(&mut comm), &b, problem.tol, problem.maxiter)?;
+    let (x_e, x_o, stats) =
+        staggered_propagator(&op, share(&mut comm), &b, problem.tol, problem.maxiter)?;
     let corr = pion_correlator(&x_e, &x_o, problem.global.0[3], &mut comm)?;
     Ok((corr, stats))
 }
@@ -277,8 +274,7 @@ mod tests {
         let op = p.build_operator(&grid, 0).unwrap();
         let b = point_source(&op, [0, 0, 0, 0], 0).unwrap();
         let comm = SingleComm::new(p.global).unwrap();
-        let (x_e, x_o, stats) =
-            staggered_propagator(&op, comm, &b, p.tol, p.maxiter).unwrap();
+        let (x_e, x_o, stats) = staggered_propagator(&op, comm, &b, p.tol, p.maxiter).unwrap();
         assert!(stats.converged);
         let mut comm = SingleComm::new(p.global).unwrap();
         let resid = verify_propagator(&op, &mut comm, &x_e, &x_o, &b).unwrap();
@@ -333,9 +329,7 @@ mod tests {
         let grid = ProcessGrid::new(Dims([1, 1, 1, 2]), p.global).unwrap();
         let grid2 = grid.clone();
         let p2 = p.clone();
-        let dist = run_on_grid(grid, move |comm| {
-            pion_from_problem(&p2, &grid2, comm).unwrap().0
-        });
+        let dist = run_on_grid(grid, move |comm| pion_from_problem(&p2, &grid2, comm).unwrap().0);
         for (a, b) in serial.iter().zip(&dist[0]) {
             assert!((a - b).abs() < 1e-8 * a.max(1e-30), "correlators differ: {a} vs {b}");
         }

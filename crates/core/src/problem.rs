@@ -56,7 +56,13 @@ impl WilsonProblem {
             csw: Some(1.0),
             tol: 1e-8,
             maxiter: 4000,
-            gcr: GcrParams { tol: 1e-8, kmax: 16, delta: 0.05, maxiter: 4000, quantize_krylov: false },
+            gcr: GcrParams {
+                tol: 1e-8,
+                kmax: 16,
+                delta: 0.05,
+                maxiter: 4000,
+                quantize_krylov: false,
+            },
             mr_steps: 8,
         }
     }

@@ -116,10 +116,10 @@ mod tests {
                                 for d in 0..4 {
                                     gc[d] = c[d] + sub.origin[d];
                                 }
-                                let want =
-                                    global.index(global.displace(gc, mu, step)) as f64;
+                                let want = global.index(global.displace(gc, mu, step)) as f64;
                                 assert_eq!(
-                                    got, want,
+                                    got,
+                                    want,
                                     "rank {} parity {parity:?} µ={mu} step {step} {c:?}",
                                     comm.rank()
                                 );

@@ -20,7 +20,7 @@ pub type DenseSpinorVec = Vec<WilsonSpinor<f64>>;
 /// A full-lattice staggered vector indexed by global lexicographic index.
 pub type DenseColorVec = Vec<ColorVector<f64>>;
 
-fn link_at(g: &GaugeField<f64>, global: Dims, c: [usize; NDIM], mu: usize) -> Su3<f64> {
+fn link_at(g: &GaugeField<f64>, _global: Dims, c: [usize; NDIM], mu: usize) -> Su3<f64> {
     let sub = g.sublattice();
     g.link(mu, sub.parity(c), sub.cb_index(c))
 }
@@ -66,7 +66,7 @@ pub fn wilson_reference_apply(
 /// Staggered phase η_µ(x) (global coordinates).
 fn eta(c: [usize; NDIM], mu: usize) -> f64 {
     let s: usize = c[..mu].iter().sum();
-    if s % 2 == 0 {
+    if s.is_multiple_of(2) {
         1.0
     } else {
         -1.0
@@ -94,8 +94,7 @@ pub fn staggered_reference_apply(
                 let cp = global.displace(c, mu, hop);
                 let cm = global.displace(c, mu, -hop);
                 let fwd = link_at(links, global, c, mu).mul_vec(&src[global.index(cp)]);
-                let bwd =
-                    link_at(links, global, cm, mu).adj_mul_vec(&src[global.index(cm)]);
+                let bwd = link_at(links, global, cm, mu).adj_mul_vec(&src[global.index(cm)]);
                 d = d.add(&fwd.sub(&bwd).scale(e));
             }
         }
@@ -161,8 +160,7 @@ mod tests {
         let mut comm = SingleComm::new(GLOBAL).unwrap();
         let mut oe = op.alloc(Parity::Even);
         let mut oo = op.alloc(Parity::Odd);
-        op.apply_full(&mut oe, &mut oo, &mut se, &mut so, &mut comm, BoundaryMode::Full)
-            .unwrap();
+        op.apply_full(&mut oe, &mut oo, &mut se, &mut so, &mut comm, BoundaryMode::Full).unwrap();
         let dense_opt = gather_dense_staggered(&oe, &oo, GLOBAL);
         // Reference.
         let dense_ref = staggered_reference_apply(&op, GLOBAL, &dense_src);
@@ -179,13 +177,8 @@ mod tests {
         let seed = SeedTree::new(100);
         let sub = Arc::new(SubLattice::single(GLOBAL).unwrap());
         let faces = FaceGeometry::new(&sub, 1).unwrap();
-        let gauge = GaugeField::<f64>::generate(
-            sub,
-            &faces,
-            GLOBAL,
-            &seed,
-            GaugeStart::Disordered(0.2),
-        );
+        let gauge =
+            GaugeField::<f64>::generate(sub, &faces, GLOBAL, &seed, GaugeStart::Disordered(0.2));
         let op = WilsonCloverOp::new(gauge, None, 0.1).unwrap();
         let mut delta = vec![WilsonSpinor::zero(); GLOBAL.volume()];
         let origin = GLOBAL.index([1, 2, 3, 4]);

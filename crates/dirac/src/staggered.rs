@@ -83,7 +83,7 @@ impl<R: Real> StaggeredOp<R> {
         for d in 0..mu {
             s += c[d] + self.sub.origin[d];
         }
-        if s % 2 == 0 {
+        if s.is_multiple_of(2) {
             R::ONE
         } else {
             -R::ONE
@@ -164,9 +164,7 @@ impl<R: Real> StaggeredOp<R> {
                 let eta = self.eta(c, mu);
                 for (links, dist) in [(&self.fat, 1isize), (&self.long, 3)] {
                     for step in [dist, -dist] {
-                        if let Some(v) =
-                            self.hop(links, src, c, idx, mu, step, true, None)
-                        {
+                        if let Some(v) = self.hop(links, src, c, idx, mu, step, true, None) {
                             acc = acc.add(&v.scale(eta));
                         }
                     }
@@ -189,9 +187,7 @@ impl<R: Real> StaggeredOp<R> {
             let mut touched = false;
             for (links, dist) in [(&self.fat, 1isize), (&self.long, 3)] {
                 for step in [dist, -dist] {
-                    if let Some(v) =
-                        self.hop(links, src, c, idx, mu, step, false, Some(mu))
-                    {
+                    if let Some(v) = self.hop(links, src, c, idx, mu, step, false, Some(mu)) {
                         acc = acc.add(&v.scale(eta));
                         touched = true;
                     }

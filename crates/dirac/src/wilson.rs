@@ -141,8 +141,7 @@ impl<R: Real> WilsonCloverOp<R> {
             let mut acc = WilsonSpinor::zero();
             for mu in 0..NDIM {
                 // Forward hop: U_µ(x) (1 − γµ) ψ(x + µ̂).
-                if let Neighbor::Interior { idx: nidx } =
-                    self.sub.neighbor(c, mu, 1, WILSON_DEPTH)
+                if let Neighbor::Interior { idx: nidx } = self.sub.neighbor(c, mu, 1, WILSON_DEPTH)
                 {
                     let proj = Projector { mu, plus: false };
                     let h = proj
@@ -151,8 +150,7 @@ impl<R: Real> WilsonCloverOp<R> {
                     proj.accumulate(&mut acc, &h);
                 }
                 // Backward hop: U†_µ(x − µ̂) (1 + γµ) ψ(x − µ̂).
-                if let Neighbor::Interior { idx: nidx } =
-                    self.sub.neighbor(c, mu, -1, WILSON_DEPTH)
+                if let Neighbor::Interior { idx: nidx } = self.sub.neighbor(c, mu, -1, WILSON_DEPTH)
                 {
                     let proj = Projector { mu, plus: true };
                     let h = proj
@@ -227,9 +225,12 @@ impl<R: Real> WilsonCloverOp<R> {
     /// Apply the precomputed `T⁻¹` (requires
     /// [`WilsonCloverOp::build_t_inverse`]).
     pub fn t_inv_apply(&self, out: &mut SpinorField<R>, src: &SpinorField<R>) -> Result<()> {
-        let t_inv = self.t_inv.as_ref().ok_or_else(|| Error::Config(
-            "T-inverse not built; call build_t_inverse() before even-odd preconditioning".into(),
-        ))?;
+        let t_inv = self.t_inv.as_ref().ok_or_else(|| {
+            Error::Config(
+                "T-inverse not built; call build_t_inverse() before even-odd preconditioning"
+                    .into(),
+            )
+        })?;
         let cf = &t_inv[src.parity().index()];
         for idx in 0..src.num_sites() {
             out.set_site(idx, cf.site(idx).apply(&src.site(idx)));
@@ -333,8 +334,7 @@ mod tests {
     fn make_op(start: GaugeStart, mass: f64, with_clover: bool) -> WilsonCloverOp<f64> {
         let sub = Arc::new(SubLattice::single(GLOBAL).unwrap());
         let faces = FaceGeometry::new(&sub, 1).unwrap();
-        let gauge =
-            GaugeField::<f64>::generate(sub, &faces, GLOBAL, &SeedTree::new(5), start);
+        let gauge = GaugeField::<f64>::generate(sub, &faces, GLOBAL, &SeedTree::new(5), start);
         let clover = with_clover.then(|| build_clover_field(&gauge, GLOBAL, 1.0));
         WilsonCloverOp::new(gauge, clover, mass).unwrap()
     }
@@ -383,8 +383,7 @@ mod tests {
                     let fwd = project_reference(mu, false, &fetch(cp));
                     let fwd = WilsonSpinor::from_fn(|sp| link(c, mu).mul_vec(&fwd.s[sp]));
                     let bwd = project_reference(mu, true, &fetch(cm));
-                    let bwd =
-                        WilsonSpinor::from_fn(|sp| link(cm, mu).adj_mul_vec(&bwd.s[sp]));
+                    let bwd = WilsonSpinor::from_fn(|sp| link(cm, mu).adj_mul_vec(&bwd.s[sp]));
                     acc = acc.add(&fwd.add(&bwd).scale(-0.25));
                 }
                 if p == Parity::Even {
@@ -405,8 +404,7 @@ mod tests {
         let mut comm = SingleComm::new(GLOBAL).unwrap();
         let mut oe = op.alloc(Parity::Even);
         let mut oo = op.alloc(Parity::Odd);
-        op.apply_full(&mut oe, &mut oo, &mut se, &mut so, &mut comm, BoundaryMode::Full)
-            .unwrap();
+        op.apply_full(&mut oe, &mut oo, &mut se, &mut so, &mut comm, BoundaryMode::Full).unwrap();
         assert!(max_abs_diff(&oe, &want_e) < 1e-12);
         assert!(max_abs_diff(&oo, &want_o) < 1e-12);
     }
@@ -419,8 +417,7 @@ mod tests {
         let mut comm = SingleComm::new(GLOBAL).unwrap();
         let mut oe = op.alloc(Parity::Even);
         let mut oo = op.alloc(Parity::Odd);
-        op.apply_full(&mut oe, &mut oo, &mut se, &mut so, &mut comm, BoundaryMode::Full)
-            .unwrap();
+        op.apply_full(&mut oe, &mut oo, &mut se, &mut so, &mut comm, BoundaryMode::Full).unwrap();
         assert!(max_abs_diff(&oe, &want_e) < 1e-12);
         assert!(max_abs_diff(&oo, &want_o) < 1e-12);
     }
@@ -441,8 +438,7 @@ mod tests {
         let mut comm = SingleComm::new(GLOBAL).unwrap();
         let mut oe = op.alloc(Parity::Even);
         let mut oo = op.alloc(Parity::Odd);
-        op.apply_full(&mut oe, &mut oo, &mut se, &mut so, &mut comm, BoundaryMode::Full)
-            .unwrap();
+        op.apply_full(&mut oe, &mut oo, &mut se, &mut so, &mut comm, BoundaryMode::Full).unwrap();
         // At the source: (4 + 0.5)·δ.
         let at_src = oe.site(sub.cb_index(c0));
         assert!((at_src.s[0].c[0].re - 4.5).abs() < 1e-13);
@@ -511,8 +507,7 @@ mod tests {
         let mut comm = SingleComm::new(GLOBAL).unwrap();
         let mut be = op.alloc(Parity::Even);
         let mut bo = op.alloc(Parity::Odd);
-        op.apply_full(&mut be, &mut bo, &mut xe, &mut xo, &mut comm, BoundaryMode::Full)
-            .unwrap();
+        op.apply_full(&mut be, &mut bo, &mut xe, &mut xo, &mut comm, BoundaryMode::Full).unwrap();
         // LHS: M̂ x_o.
         let mut lhs = op.alloc(Parity::Odd);
         let mut s1 = op.alloc(Parity::Even);
@@ -539,8 +534,7 @@ mod tests {
         let mut comm = SingleComm::new(GLOBAL).unwrap();
         let mut be = op.alloc(Parity::Even);
         let mut bo = op.alloc(Parity::Odd);
-        op.apply_full(&mut be, &mut bo, &mut xe, &mut xo, &mut comm, BoundaryMode::Full)
-            .unwrap();
+        op.apply_full(&mut be, &mut bo, &mut xe, &mut xo, &mut comm, BoundaryMode::Full).unwrap();
         let mut xe_rec = op.alloc(Parity::Even);
         op.reconstruct_even(&mut xe_rec, &be, &mut xo, &mut comm, BoundaryMode::Full).unwrap();
         assert!(max_abs_diff(&xe_rec, &xe) < 1e-11);

@@ -5,7 +5,6 @@
 
 use lqcd_comms::{run_on_grid, Communicator, SingleComm};
 use lqcd_dirac::{BoundaryMode, StaggeredOp, WilsonCloverOp, STAGGERED_DEPTH, WILSON_DEPTH};
-use lqcd_field::LatticeField;
 use lqcd_gauge::asqtad::{AsqtadCoeffs, AsqtadLinks};
 use lqcd_gauge::clover_build::{build_clover_field, restrict_clover};
 use lqcd_gauge::field::GaugeStart;
@@ -195,17 +194,14 @@ fn staggered_distributed_equals_serial_all_schemes() {
         for (idx, c) in gsub.sites(p) {
             let s = f.site(idx);
             let base = GLOBAL.index(c) * 3;
-            for col in 0..3 {
-                flat[base + col] = s.c[col];
-            }
+            flat[base..base + 3].copy_from_slice(&s.c);
         }
     }
     let flat = Arc::new(flat);
     let links = Arc::new(links);
 
     // Distributed runs: ZT, YZT, XYZT (and T-only with thin local T).
-    for shape in [Dims([1, 1, 1, 2]), Dims([1, 1, 2, 2]), Dims([1, 2, 2, 2]), Dims([2, 2, 2, 2])]
-    {
+    for shape in [Dims([1, 1, 1, 2]), Dims([1, 1, 2, 2]), Dims([1, 2, 2, 2]), Dims([2, 2, 2, 2])] {
         let grid = ProcessGrid::new(shape, GLOBAL).unwrap();
         let grid2 = grid.clone();
         let flat2 = flat.clone();
@@ -216,10 +212,8 @@ fn staggered_distributed_equals_serial_all_schemes() {
             let faces = FaceGeometry::new(&sub, STAGGERED_DEPTH).unwrap();
             // Fat/long links restricted from the precomputed global pair
             // (body + gauge ghosts, no comm), as production does.
-            let fat =
-                GaugeField::restrict_from_global(&links2.fat, sub.clone(), &faces, GLOBAL);
-            let long =
-                GaugeField::restrict_from_global(&links2.long, sub.clone(), &faces, GLOBAL);
+            let fat = GaugeField::restrict_from_global(&links2.fat, sub.clone(), &faces, GLOBAL);
+            let long = GaugeField::restrict_from_global(&links2.long, sub.clone(), &faces, GLOBAL);
             let op = StaggeredOp::new(fat, long, 0.2).unwrap();
             let mut se = op.alloc(Parity::Even);
             let mut so = op.alloc(Parity::Odd);

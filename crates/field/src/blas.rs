@@ -145,11 +145,7 @@ pub fn max_abs_diff<R: Real, S: SiteObject<R>>(
     x: &LatticeField<R, S>,
     y: &LatticeField<R, S>,
 ) -> f64 {
-    x.body()
-        .iter()
-        .zip(y.body())
-        .map(|(a, b)| (a.to_f64() - b.to_f64()).abs())
-        .fold(0.0, f64::max)
+    x.body().iter().zip(y.body()).map(|(a, b)| (a.to_f64() - b.to_f64()).abs()).fold(0.0, f64::max)
 }
 
 /// Fused multi-shift CG update: `z = x + b·z; x += a·p` is *not* what we
@@ -287,11 +283,9 @@ mod tests {
         let faces = FaceGeometry::new(&sub, 1).unwrap();
         let mut f: LatticeField<f32, ColorVector<f32>> =
             LatticeField::zeros(sub, &faces, Parity::Even, 0);
-        f.fill(|_| {
-            ColorVector::from_fn(|_| Complex::new(1.0f32 + 1e-4, 0.0))
-        });
+        f.fill(|_| ColorVector::from_fn(|_| Complex::new(1.0f32 + 1e-4, 0.0)));
         let n = f.num_sites() as f64 * 3.0;
-        let want = n * (1.0 + 1e-4f64 as f64).powi(2);
+        let want = n * (1.0 + 1_f64).powi(2);
         // f32 accumulation would drift by far more than this bound.
         let got = norm2_local(&f);
         let per_term = (1.0f32 + 1e-4).to_f64() * (1.0f32 + 1e-4).to_f64();

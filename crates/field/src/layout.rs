@@ -45,13 +45,7 @@ impl FieldLayout {
             ghost_offset[mu][1] = cursor;
             cursor += n;
         }
-        FieldLayout {
-            body_sites: body,
-            pad_sites,
-            ghost_offset,
-            ghost_sites,
-            total_sites: cursor,
-        }
+        FieldLayout { body_sites: body, pad_sites, ghost_offset, ghost_sites, total_sites: cursor }
     }
 
     /// Site offset of the ghost zone for `(mu, forward)`.

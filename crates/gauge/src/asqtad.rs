@@ -89,10 +89,7 @@ pub fn staple_paths_with(mu: usize, c: &AsqtadCoeffs) -> Vec<(f64, Vec<Step>)> {
     for (i, &nu) in trans.iter().enumerate() {
         for &s1 in &[true, false] {
             // 3-staple: ν, µ, ν̄.
-            out.push((
-                c.three_staple,
-                vec![Step(nu, s1), Step(mu, true), Step(nu, !s1)],
-            ));
+            out.push((c.three_staple, vec![Step(nu, s1), Step(mu, true), Step(nu, !s1)]));
             // Lepage: ν, ν, µ, ν̄, ν̄.
             out.push((
                 c.lepage,

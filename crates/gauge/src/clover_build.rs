@@ -12,12 +12,12 @@
 
 use crate::field::GaugeField;
 use crate::paths::{path_product, Step};
+use lqcd_field::LatticeField;
 use lqcd_lattice::{Dims, FaceGeometry, Parity, SubLattice, NDIM};
 use lqcd_su3::clover::{CloverSite, HermBlock, BLOCK_DIM};
 use lqcd_su3::gamma::GAMMA;
 use lqcd_su3::Su3;
 use lqcd_util::{Complex, Real};
-use lqcd_field::LatticeField;
 use std::sync::Arc;
 
 /// Clover-averaged field strength `F̂_µν(x)`: the four leaves around `x`
@@ -80,10 +80,8 @@ pub fn build_clover_field<R: Real>(
         LatticeField::zeros(sub.clone(), &faces, Parity::Odd, 0),
     ];
     for p in Parity::BOTH {
-        let sites: Vec<(usize, CloverSite<R>)> = sub
-            .sites(p)
-            .map(|(idx, x)| (idx, clover_site(g, global, x, c_sw)))
-            .collect();
+        let sites: Vec<(usize, CloverSite<R>)> =
+            sub.sites(p).map(|(idx, x)| (idx, clover_site(g, global, x, c_sw))).collect();
         for (idx, site) in sites {
             out[p.index()].set_site(idx, site);
         }
@@ -135,9 +133,7 @@ pub fn clover_site<R: Real>(
             }
         }
     }
-    CloverSite {
-        blocks: [HermBlock::from_dense(&dense[0]), HermBlock::from_dense(&dense[1])],
-    }
+    CloverSite { blocks: [HermBlock::from_dense(&dense[0]), HermBlock::from_dense(&dense[1])] }
 }
 
 /// Restrict a globally-built clover field to one rank's subvolume.
@@ -147,13 +143,7 @@ pub fn restrict_clover<R: Real>(
     faces: &FaceGeometry,
 ) -> [LatticeField<R, CloverSite<R>>; 2] {
     [
-        LatticeField::restrict_from_global(
-            &global_clover[0],
-            sub.clone(),
-            faces,
-            Parity::Even,
-            0,
-        ),
+        LatticeField::restrict_from_global(&global_clover[0], sub.clone(), faces, Parity::Even, 0),
         LatticeField::restrict_from_global(&global_clover[1], sub, faces, Parity::Odd, 0),
     ]
 }

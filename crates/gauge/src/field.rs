@@ -151,9 +151,8 @@ impl<R: Real> GaugeField<R> {
     where
         Su3<R>: lqcd_field::CastSite<R, R2> + lqcd_field::CastSiteAny<R2, Target = Su3<R2>>,
     {
-        let mk = |mu: usize| {
-            [self.links[mu][0].cast_all::<R2>(), self.links[mu][1].cast_all::<R2>()]
-        };
+        let mk =
+            |mu: usize| [self.links[mu][0].cast_all::<R2>(), self.links[mu][1].cast_all::<R2>()];
         GaugeField { links: [mk(0), mk(1), mk(2), mk(3)], sub: self.sub.clone(), depth: self.depth }
     }
 
@@ -237,13 +236,8 @@ mod tests {
     fn cold_start_is_identity() {
         let global = Dims([4, 4, 4, 4]);
         let (sub, faces) = single(global);
-        let g = GaugeField::<f64>::generate(
-            sub,
-            &faces,
-            global,
-            &SeedTree::new(1),
-            GaugeStart::Cold,
-        );
+        let g =
+            GaugeField::<f64>::generate(sub, &faces, global, &SeedTree::new(1), GaugeStart::Cold);
         for mu in 0..4 {
             for p in Parity::BOTH {
                 for idx in 0..g.links[mu][p.index()].num_sites() {
@@ -257,8 +251,13 @@ mod tests {
     fn hot_start_links_are_unitary_and_seed_stable() {
         let global = Dims([4, 4, 4, 4]);
         let (sub, faces) = single(global);
-        let g1 =
-            GaugeField::<f64>::generate(sub.clone(), &faces, global, &SeedTree::new(7), GaugeStart::Hot);
+        let g1 = GaugeField::<f64>::generate(
+            sub.clone(),
+            &faces,
+            global,
+            &SeedTree::new(7),
+            GaugeStart::Hot,
+        );
         let g2 =
             GaugeField::<f64>::generate(sub, &faces, global, &SeedTree::new(7), GaugeStart::Hot);
         for mu in 0..4 {
@@ -323,9 +322,7 @@ mod tests {
                             continue;
                         }
                         let hop = sub.neighbor(c, mu, -1, 1);
-                        let Neighbor::Ghost { .. } = hop else {
-                            panic!("expected ghost")
-                        };
+                        let Neighbor::Ghost { .. } = hop else { panic!("expected ghost") };
                         // Link parity is the parity of the *neighbour* site.
                         let got = local.link_resolved(mu, p.other(), hop);
                         let mut gc = [0usize; 4];

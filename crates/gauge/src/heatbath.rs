@@ -28,6 +28,7 @@ pub struct Quat(pub [f64; 4]);
 
 impl Quat {
     /// Quaternion (SU(2)) product.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, o: Quat) -> Quat {
         let [a0, a1, a2, a3] = self.0;
         let [b0, b1, b2, b3] = o.0;
@@ -113,8 +114,8 @@ pub fn kennedy_pendleton<G: Rng>(rng: &mut G, alpha: f64) -> Quat {
         let r1: f64 = 1.0 - rng.gen::<f64>(); // (0,1]
         let r2: f64 = rng.gen();
         let r3: f64 = 1.0 - rng.gen::<f64>();
-        let lam2 = -(r1.ln() + (2.0 * std::f64::consts::PI * r2).cos().powi(2) * r3.ln())
-            / (2.0 * alpha);
+        let lam2 =
+            -(r1.ln() + (2.0 * std::f64::consts::PI * r2).cos().powi(2) * r3.ln()) / (2.0 * alpha);
         if lam2 > 1.0 {
             continue;
         }
@@ -217,16 +218,16 @@ pub fn heatbath_sweep<R: Real>(
                 .sites(p)
                 .map(|(idx, c)| {
                     let staple = staple_sum(g, global, c, mu);
-                    let key = sweep_id
-                        .wrapping_mul(0x1_0000_0000)
-                        .wrapping_add((global.index({
+                    let key = sweep_id.wrapping_mul(0x1_0000_0000).wrapping_add(
+                        (global.index({
                             let mut gc = c;
                             for d in 0..NDIM {
                                 gc[d] += sub.origin[d];
                             }
                             gc
                         }) * NDIM
-                            + mu) as u64);
+                            + mu) as u64,
+                    );
                     let mut rng = tree.stream(key);
                     let old = g.link(mu, p, idx);
                     (idx, update_link(&old, &staple, beta, &mut rng))
@@ -317,13 +318,8 @@ mod tests {
         let faces = FaceGeometry::new(&sub, 1).unwrap();
         let seeds = SeedTree::new(9);
         // Weak coupling: β large ⇒ plaquette close to 1.
-        let mut g = GaugeField::<f64>::generate(
-            sub.clone(),
-            &faces,
-            global,
-            &seeds,
-            GaugeStart::Cold,
-        );
+        let mut g =
+            GaugeField::<f64>::generate(sub.clone(), &faces, global, &seeds, GaugeStart::Cold);
         for sweep in 0..8 {
             heatbath_sweep(&mut g, global, 12.0, &seeds, sweep);
         }
@@ -350,13 +346,8 @@ mod tests {
         let sub = Arc::new(SubLattice::single(global).unwrap());
         let faces = FaceGeometry::new(&sub, 1).unwrap();
         let seeds = SeedTree::new(21);
-        let mut g = GaugeField::<f64>::generate(
-            sub,
-            &faces,
-            global,
-            &seeds,
-            GaugeStart::Disordered(0.3),
-        );
+        let mut g =
+            GaugeField::<f64>::generate(sub, &faces, global, &seeds, GaugeStart::Disordered(0.3));
         let s_before = wilson_action(&g, global, 5.7);
         let u_before = g.link(0, Parity::Even, 0);
         overrelax_sweep(&mut g, global);
@@ -382,8 +373,7 @@ mod tests {
         let sub = Arc::new(SubLattice::single(global).unwrap());
         let faces = FaceGeometry::new(&sub, 1).unwrap();
         let seeds = SeedTree::new(22);
-        let mut g =
-            GaugeField::<f64>::generate(sub, &faces, global, &seeds, GaugeStart::Cold);
+        let mut g = GaugeField::<f64>::generate(sub, &faces, global, &seeds, GaugeStart::Cold);
         for sweep in 0..5 {
             heatbath_sweep(&mut g, global, 12.0, &seeds, sweep);
             overrelax_sweep(&mut g, global);

@@ -86,8 +86,7 @@ pub fn load<P: AsRef<Path>>(path: P, depth: usize) -> Result<(GaugeField<f64>, D
     }
     let global = Dims::new(dims)?;
     let plaq_hdr = f64::from_le_bytes(take(&bytes, &mut cur, 8)?.try_into().expect("8 bytes"));
-    let checksum_hdr =
-        f64::from_le_bytes(take(&bytes, &mut cur, 8)?.try_into().expect("8 bytes"));
+    let checksum_hdr = f64::from_le_bytes(take(&bytes, &mut cur, 8)?.try_into().expect("8 bytes"));
 
     let sub = Arc::new(SubLattice::single(global)?);
     let faces = FaceGeometry::new(&sub, depth)?;
@@ -99,9 +98,8 @@ pub fn load<P: AsRef<Path>>(path: P, depth: usize) -> Result<(GaugeField<f64>, D
             for idx in 0..n {
                 let mut buf = [0.0f64; 18];
                 for v in buf.iter_mut() {
-                    *v = f64::from_le_bytes(
-                        take(&bytes, &mut cur, 8)?.try_into().expect("8 bytes"),
-                    );
+                    *v =
+                        f64::from_le_bytes(take(&bytes, &mut cur, 8)?.try_into().expect("8 bytes"));
                     checksum += *v;
                 }
                 g.set_link(mu, p, idx, <Su3<f64> as SiteObject<f64>>::read(&buf));
@@ -196,8 +194,11 @@ mod tests {
         save(&g, global, &path).unwrap();
         let (back, _) = load(&path, 3).unwrap();
         // Usable as input to asqtad smearing (which needs depth-3 faces).
-        let links =
-            crate::asqtad::AsqtadLinks::compute(&back, global, &crate::asqtad::AsqtadCoeffs::default());
+        let links = crate::asqtad::AsqtadLinks::compute(
+            &back,
+            global,
+            &crate::asqtad::AsqtadCoeffs::default(),
+        );
         assert!(links.fat.link(0, Parity::Even, 0).norm_sqr() > 0.0);
     }
 }

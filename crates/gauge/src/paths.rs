@@ -60,12 +60,7 @@ pub fn path_product<R: Real>(
 /// The sum of the six staples around `U_µ(x)` (used by the heatbath):
 /// for each ν ≠ µ, the up staple `U_ν(x+µ̂) U_µ(x+ν̂)† U_ν(x)†` and the
 /// down staple `U_ν(x+µ̂−ν̂)† U_µ(x−ν̂)† U_ν(x−ν̂)`.
-pub fn staple_sum<R: Real>(
-    g: &GaugeField<R>,
-    global: Dims,
-    x: [usize; NDIM],
-    mu: usize,
-) -> Su3<R> {
+pub fn staple_sum<R: Real>(g: &GaugeField<R>, global: Dims, x: [usize; NDIM], mu: usize) -> Su3<R> {
     let mut sum = Su3::zero();
     let xpmu = global.displace(x, mu, 1);
     for nu in 0..NDIM {
@@ -112,8 +107,7 @@ mod tests {
         let global = Dims([4, 4, 4, 4]);
         let g = hot_field(global, 2);
         let x = [0, 1, 2, 3];
-        let loop_path =
-            [Step(0, true), Step(1, true), Step(0, false), Step(1, false)];
+        let loop_path = [Step(0, true), Step(1, true), Step(0, false), Step(1, false)];
         let u = path_product(&g, global, x, &loop_path);
         assert!(u.unitarity_error() < 1e-12);
         assert!((u.det().abs() - 1.0).abs() < 1e-12);
@@ -137,13 +131,8 @@ mod tests {
         let global = Dims([4, 4, 4, 4]);
         let sub = Arc::new(SubLattice::single(global).unwrap());
         let faces = FaceGeometry::new(&sub, 1).unwrap();
-        let g = GaugeField::<f64>::generate(
-            sub,
-            &faces,
-            global,
-            &SeedTree::new(4),
-            GaugeStart::Cold,
-        );
+        let g =
+            GaugeField::<f64>::generate(sub, &faces, global, &SeedTree::new(4), GaugeStart::Cold);
         let s = staple_sum(&g, global, [0, 0, 0, 0], 0);
         assert!(s.sub(&Su3::identity().scale(6.0)).norm_sqr() < 1e-24);
     }

@@ -16,7 +16,7 @@ pub struct Dims(pub [usize; NDIM]);
 impl Dims {
     /// Construct, validating positivity.
     pub fn new(dims: [usize; NDIM]) -> Result<Self> {
-        if dims.iter().any(|&d| d == 0) {
+        if dims.contains(&0) {
             return Err(Error::Geometry(format!("zero extent in {dims:?}")));
         }
         Ok(Dims(dims))
@@ -85,7 +85,7 @@ impl Dims {
     pub fn divide(&self, by: &Dims) -> Result<Dims> {
         let mut out = [0; NDIM];
         for mu in 0..NDIM {
-            if self.0[mu] % by.0[mu] != 0 {
+            if !self.0[mu].is_multiple_of(by.0[mu]) {
                 return Err(Error::Geometry(format!(
                     "extent {} of dim {mu} not divisible by grid {}",
                     self.0[mu], by.0[mu]

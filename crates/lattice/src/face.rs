@@ -166,9 +166,8 @@ mod tests {
         for depth in [1usize, 3] {
             for rank in 0..grid.num_ranks() {
                 let me = SubLattice::for_rank(&grid, rank);
-                let faces_of = |r: usize| {
-                    FaceGeometry::new(&SubLattice::for_rank(&grid, r), depth).unwrap()
-                };
+                let faces_of =
+                    |r: usize| FaceGeometry::new(&SubLattice::for_rank(&grid, r), depth).unwrap();
                 for p in Parity::BOTH {
                     for (_, c) in me.sites(p) {
                         for mu in 0..NDIM {

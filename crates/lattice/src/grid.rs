@@ -70,7 +70,7 @@ impl PartitionScheme {
             let mut best: Option<usize> = None;
             for &mu in self.dims() {
                 let l = local[mu];
-                if l % p == 0 && (l / p) % 2 == 0 {
+                if l.is_multiple_of(p) && (l / p).is_multiple_of(2) {
                     match best {
                         None => best = Some(mu),
                         Some(b) => {
@@ -100,7 +100,7 @@ fn smallest_prime_factor(n: usize) -> usize {
     debug_assert!(n > 1);
     let mut p = 2;
     while p * p <= n {
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return p;
         }
         p += 1;

@@ -36,7 +36,7 @@ impl Parity {
     /// From a coordinate-sum value.
     #[inline(always)]
     pub fn of_sum(s: usize) -> Parity {
-        if s % 2 == 0 {
+        if s.is_multiple_of(2) {
             Parity::Even
         } else {
             Parity::Odd

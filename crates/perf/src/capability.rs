@@ -102,10 +102,7 @@ mod tests {
             (xt5(), [16_384, 24_576, 32_768]),
             (bgp(), [16_384, 24_576, 32_768]),
         ] {
-            let best = cores
-                .iter()
-                .map(|&c| sustained_tflops(&m, c, V))
-                .fold(0.0f64, f64::max);
+            let best = cores.iter().map(|&c| sustained_tflops(&m, c, V)).fold(0.0f64, f64::max);
             assert!(
                 (8.0..20.0).contains(&best),
                 "{}: best sustained {best} Tflops outside the plausible band",

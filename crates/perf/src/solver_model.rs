@@ -165,11 +165,7 @@ pub struct StaggeredIterModel {
 
 impl Default for StaggeredIterModel {
     fn default() -> Self {
-        StaggeredIterModel {
-            multishift_iters: 2200.0,
-            num_shifts: 9,
-            refine_iters_per_shift: 50.0,
-        }
+        StaggeredIterModel { multishift_iters: 2200.0, num_shifts: 9, refine_iters_per_shift: 50.0 }
     }
 }
 
@@ -282,12 +278,10 @@ mod tests {
     #[test]
     fn multishift_scales_to_256() {
         let model = edge();
-        let geo64 = PartitionGeometry::of(
-            &PartitionScheme::XYZT.grid(Dims::symm(64, 192), 64).unwrap(),
-        );
-        let geo256 = PartitionGeometry::of(
-            &PartitionScheme::XYZT.grid(Dims::symm(64, 192), 256).unwrap(),
-        );
+        let geo64 =
+            PartitionGeometry::of(&PartitionScheme::XYZT.grid(Dims::symm(64, 192), 64).unwrap());
+        let geo256 =
+            PartitionGeometry::of(&PartitionScheme::XYZT.grid(Dims::symm(64, 192), 256).unwrap());
         let sp = OpConfig {
             kind: OperatorKind::Asqtad,
             precision: Precision::Single,

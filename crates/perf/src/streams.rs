@@ -145,7 +145,8 @@ pub fn simulate_dslash(
     order.sort_by(|a, b| gather_end[a.0][a.1].total_cmp(&gather_end[b.0][b.1]));
     for (d, dir) in order {
         {
-            let stream = format!("{}-{}", DIM_NAMES[d], if dir == 0 { "backward" } else { "forward" });
+            let stream =
+                format!("{}-{}", DIM_NAMES[d], if dir == 0 { "backward" } else { "forward" });
             let msg = {
                 // One parity's ghost message for this (dim, dir).
                 let face_cb = geo.face_vol_cb[d] as f64;
@@ -263,8 +264,8 @@ mod tests {
         assert!(t.gpu_idle.abs() < 1e-12);
         assert_eq!(t.total, t.interior_end);
         // Single GPU at full volume: Gflops in a plausible band.
-        let gflops = g.vol_cb as f64 * wilson_cfg(Precision::Single).flops_per_site() / t.total
-            / 1e9;
+        let gflops =
+            g.vol_cb as f64 * wilson_cfg(Precision::Single).flops_per_site() / t.total / 1e9;
         assert!((80.0..200.0).contains(&gflops), "single-GPU SP dslash {gflops} Gflops");
     }
 
@@ -332,12 +333,8 @@ mod tests {
             assert!(e.end <= t.total + 1e-12, "task past total in {e:?}");
         }
         // Kernel-stream entries never overlap.
-        let mut kernel_spans: Vec<(f64, f64)> = t
-            .timeline
-            .iter()
-            .filter(|e| e.stream == "kernels")
-            .map(|e| (e.start, e.end))
-            .collect();
+        let mut kernel_spans: Vec<(f64, f64)> =
+            t.timeline.iter().filter(|e| e.stream == "kernels").map(|e| (e.start, e.end)).collect();
         kernel_spans.sort_by(|a, b| a.0.total_cmp(&b.0));
         for w in kernel_spans.windows(2) {
             assert!(w[0].1 <= w[1].0 + 1e-15, "kernel overlap: {w:?}");
@@ -411,14 +408,11 @@ mod traffic_tests {
             precision: Precision::Single,
             recon: Recon::Twelve,
         };
-        let geo = PartitionGeometry::of(
-            &PartitionScheme::XYZT.grid(Dims::symm(32, 256), 128).unwrap(),
-        );
+        let geo =
+            PartitionGeometry::of(&PartitionScheme::XYZT.grid(Dims::symm(32, 256), 128).unwrap());
         let base = simulate_dslash(&edge(), &geo, &cfg);
         let direct = simulate_dslash(&edge_gpu_direct(), &geo, &cfg);
-        let memcpys = |t: &DslashTiming| {
-            t.timeline.iter().filter(|e| e.task == "memcpy").count()
-        };
+        let memcpys = |t: &DslashTiming| t.timeline.iter().filter(|e| e.task == "memcpy").count();
         assert!(memcpys(&base) > 0);
         assert_eq!(memcpys(&direct), 0, "GPU-Direct must eliminate host copies");
         assert!(direct.total < base.total);
@@ -450,9 +444,8 @@ mod traffic_tests {
         let tw = simulate_dslash(&m, &geo, &wilson);
         let ta = simulate_dslash(&m, &geo, &asqtad);
         assert!((ta.nic_bytes / tw.nic_bytes - 1.5).abs() < 1e-12);
-        let gathers = |t: &DslashTiming| {
-            t.timeline.iter().filter(|e| e.task.starts_with("gather")).count()
-        };
+        let gathers =
+            |t: &DslashTiming| t.timeline.iter().filter(|e| e.task.starts_with("gather")).count();
         assert_eq!(gathers(&tw), gathers(&ta));
     }
 }

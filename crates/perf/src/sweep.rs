@@ -227,7 +227,8 @@ pub fn fig9() -> Vec<CapabilityPoint> {
 /// Fig. 10: asqtad mixed-precision multi-shift solver, ZT/YZT/XYZT,
 /// V = 64³×192, total Tflops at 64→256 GPUs.
 pub fn fig10(model: &ClusterModel, iters: &StaggeredIterModel) -> Result<Vec<ThroughputPoint>> {
-    let sp = OpConfig { kind: OperatorKind::Asqtad, precision: Precision::Single, recon: Recon::None };
+    let sp =
+        OpConfig { kind: OperatorKind::Asqtad, precision: Precision::Single, recon: Recon::None };
     let dp = OpConfig { precision: Precision::Double, ..sp };
     let mut out = Vec::new();
     for scheme in [PartitionScheme::ZT, PartitionScheme::YZT, PartitionScheme::XYZT] {
@@ -374,8 +375,7 @@ mod tests {
     #[test]
     fn fig10_shape_matches_paper() {
         let pts = fig10(&edge(), &StaggeredIterModel::default()).unwrap();
-        let xyzt: Vec<&ThroughputPoint> =
-            pts.iter().filter(|p| p.scheme == "XYZT").collect();
+        let xyzt: Vec<&ThroughputPoint> = pts.iter().filter(|p| p.scheme == "XYZT").collect();
         assert_eq!(xyzt.len(), 3);
         // 64→256 speedup in total Tflops near 2.56×.
         let speedup = xyzt[2].total_tflops / xyzt[0].total_tflops;

@@ -64,8 +64,7 @@ pub fn bicgstab<S: SolverSpace>(
         let rhat_v = space.dot(&r_hat, &v)?;
         if rhat_v.abs() < 1e-300 {
             return Err(Error::Breakdown {
-                solver: "bicgstab",
-                detail: "⟨r̂, v⟩ vanished".into(),
+                solver: "bicgstab", detail: "⟨r̂, v⟩ vanished".into()
             });
         }
         alpha = rho / rhat_v;
@@ -119,6 +118,7 @@ mod tests {
         (0..n).map(|k| Complex::new((k as f64 * 0.9).sin(), (k as f64 * 0.4).cos())).collect()
     }
 
+    #[allow(clippy::ptr_arg)]
     fn true_resid(space: &mut DenseSpace, x: &Vec<Complex<f64>>, b: &Vec<Complex<f64>>) -> f64 {
         let mut ax = space.alloc();
         let mut xc = x.clone();

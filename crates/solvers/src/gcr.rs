@@ -163,6 +163,20 @@ impl<S: DirichletMatvec> Preconditioner<S> for SchwarzMR {
     }
 }
 
+/// NaN/Inf residuals mean corrupted data is circulating (a damaged ghost
+/// zone, an overflowed half-precision value): report a structured
+/// breakdown instead of iterating on garbage until the budget runs out.
+fn check_finite(norm: f64, what: &str) -> Result<()> {
+    if norm.is_finite() {
+        Ok(())
+    } else {
+        Err(Error::Breakdown {
+            solver: "gcr",
+            detail: format!("{what} norm is not finite ({norm})"),
+        })
+    }
+}
+
 /// Solve `A x = b` by preconditioned flexible GCR (Algorithm 1).
 pub fn gcr<S: SolverSpace, P: Preconditioner<S>>(
     space: &mut S,
@@ -174,6 +188,12 @@ pub fn gcr<S: SolverSpace, P: Preconditioner<S>>(
     let mut stats = SolveStats::new();
     let kmax = params.kmax.max(1);
     let bnorm = space.norm2(b)?.sqrt();
+    if !bnorm.is_finite() {
+        return Err(Error::Breakdown {
+            solver: "gcr",
+            detail: format!("right-hand-side norm is not finite ({bnorm})"),
+        });
+    }
     if bnorm == 0.0 {
         space.zero(x);
         stats.converged = true;
@@ -186,6 +206,7 @@ pub fn gcr<S: SolverSpace, P: Preconditioner<S>>(
     stats.matvecs += 1;
     space.xpay(b, -1.0, &mut r0);
     let mut r0_norm = space.norm2(&r0)?.sqrt();
+    check_finite(r0_norm, "initial residual")?;
 
     // Krylov storage.
     let mut p: Vec<S::V> = (0..kmax).map(|_| space.alloc()).collect();
@@ -235,6 +256,15 @@ pub fn gcr<S: SolverSpace, P: Preconditioner<S>>(
             // drift.
         }
         let gk = space.norm2(&z[k])?.sqrt();
+        if !gk.is_finite() {
+            // A NaN/Inf here means corrupted data (e.g. a damaged ghost
+            // zone) has entered the Krylov space: fail fast so callers
+            // can retry, possibly at higher precision.
+            return Err(Error::Breakdown {
+                solver: "gcr",
+                detail: format!("Krylov vector norm is not finite ({gk})"),
+            });
+        }
         if gk < 1e-300 {
             return Err(Error::Breakdown {
                 solver: "gcr",
@@ -250,6 +280,7 @@ pub fn gcr<S: SolverSpace, P: Preconditioner<S>>(
         stats.iterations += 1;
 
         let rhat_norm = space.norm2(&r_hat)?.sqrt();
+        check_finite(rhat_norm, "iterated residual")?;
         let cycle_drop = rhat_norm / r0_norm;
         if k == kmax || cycle_drop < params.delta || rhat_norm <= params.tol * bnorm {
             // Implicit solution update: back-substitute
@@ -270,6 +301,7 @@ pub fn gcr<S: SolverSpace, P: Preconditioner<S>>(
             stats.matvecs += 1;
             space.xpay(b, -1.0, &mut r0);
             r0_norm = space.norm2(&r0)?.sqrt();
+            check_finite(r0_norm, "restart residual")?;
             space.copy(&mut r_hat, &r0);
             space.quantize(&mut r_hat);
             k = 0;
@@ -301,6 +333,7 @@ mod tests {
         (0..n).map(|k| Complex::new((k as f64 * 1.1).sin(), (k as f64 * 0.6).cos())).collect()
     }
 
+    #[allow(clippy::ptr_arg)]
     fn true_resid(space: &mut DenseSpace, x: &Vec<Complex<f64>>, b: &Vec<Complex<f64>>) -> f64 {
         let mut ax = space.alloc();
         let mut xc = x.clone();
@@ -363,8 +396,7 @@ mod tests {
         let b = rand_b(n);
         let params = GcrParams { tol: 1e-9, kmax: 12, ..Default::default() };
         let mut x_plain = s.alloc();
-        let plain =
-            gcr(&mut s, &mut IdentityPrecond, &mut x_plain, &b, &params).unwrap();
+        let plain = gcr(&mut s, &mut IdentityPrecond, &mut x_plain, &b, &params).unwrap();
         let mut x_dd = s.alloc();
         let mut dd = SchwarzMR::new(6);
         let dd_stats = gcr(&mut s, &mut dd, &mut x_dd, &b, &params).unwrap();
@@ -419,10 +451,37 @@ mod tests {
         let b = s.alloc();
         let mut x = s.alloc();
         x[1] = Complex::one();
-        let stats =
-            gcr(&mut s, &mut IdentityPrecond, &mut x, &b, &GcrParams::default()).unwrap();
+        let stats = gcr(&mut s, &mut IdentityPrecond, &mut x, &b, &GcrParams::default()).unwrap();
         assert!(stats.converged);
         assert_eq!(s.norm2(&x).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn nan_in_rhs_is_a_structured_breakdown() {
+        // Corrupted input (the chaos suites inject NaN payloads) must
+        // surface as Breakdown, not hang or return a "converged" lie.
+        let mut s = DenseSpace::random_general(8, 3);
+        let mut b = rand_b(8);
+        b[3] = Complex::new(f64::NAN, 0.0);
+        let mut x = s.alloc();
+        match gcr(&mut s, &mut IdentityPrecond, &mut x, &b, &GcrParams::default()) {
+            Err(Error::Breakdown { solver: "gcr", detail }) => {
+                assert!(detail.contains("not finite"), "detail: {detail}");
+            }
+            other => panic!("expected Breakdown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_in_initial_guess_is_a_structured_breakdown() {
+        let mut s = DenseSpace::random_general(8, 3);
+        let b = rand_b(8);
+        let mut x = s.alloc();
+        x[0] = Complex::new(0.0, f64::INFINITY);
+        assert!(matches!(
+            gcr(&mut s, &mut IdentityPrecond, &mut x, &b, &GcrParams::default()),
+            Err(Error::Breakdown { solver: "gcr", .. })
+        ));
     }
 
     #[test]

@@ -169,7 +169,8 @@ mod tests {
         }
         let mut s = DenseSpace::new(a);
         // A seed with weight on every eigenvector.
-        let seed: Vec<Complex<f64>> = (0..n).map(|k| Complex::from_re(1.0 + k as f64 * 0.1)).collect();
+        let seed: Vec<Complex<f64>> =
+            (0..n).map(|k| Complex::from_re(1.0 + k as f64 * 0.1)).collect();
         let sp = lanczos_extremes(&mut s, &seed, n).unwrap();
         assert!((sp.lambda_min - 1.0).abs() < 1e-8, "λmin {}", sp.lambda_min);
         assert!((sp.lambda_max - n as f64).abs() < 1e-8, "λmax {}", sp.lambda_max);

@@ -53,6 +53,7 @@ mod tests {
     use crate::space::DenseSpace;
     use lqcd_util::Complex;
 
+    #[allow(clippy::ptr_arg)]
     fn resid(space: &mut DenseSpace, x: &Vec<Complex<f64>>, b: &Vec<Complex<f64>>) -> f64 {
         let mut ax = space.alloc();
         let mut xc = x.clone();
@@ -64,8 +65,7 @@ mod tests {
     #[test]
     fn each_step_reduces_the_residual() {
         let mut s = DenseSpace::random_general(16, 1);
-        let b: Vec<Complex<f64>> =
-            (0..16).map(|k| Complex::new((k as f64).cos(), 0.5)).collect();
+        let b: Vec<Complex<f64>> = (0..16).map(|k| Complex::new((k as f64).cos(), 0.5)).collect();
         let mut x = s.alloc();
         let mut last = 1.0;
         for _ in 0..5 {
@@ -80,7 +80,8 @@ mod tests {
     #[test]
     fn many_steps_solve_well_conditioned_system() {
         let mut s = DenseSpace::random_general(12, 2);
-        let b: Vec<Complex<f64>> = (0..12).map(|k| Complex::from_re(1.0 / (k + 1) as f64)).collect();
+        let b: Vec<Complex<f64>> =
+            (0..12).map(|k| Complex::from_re(1.0 / (k + 1) as f64)).collect();
         let mut x = s.alloc();
         mr(&mut s, &mut x, &b, 200, 1.0).unwrap();
         assert!(resid(&mut s, &x, &b) < 1e-8);

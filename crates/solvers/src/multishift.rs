@@ -38,8 +38,7 @@ pub fn multishift_cg<S: SolverSpace>(
     }
     let nshift = shifts.len();
     // Base system: the smallest shift (worst conditioned) drives CG.
-    let base_idx =
-        (0..nshift).min_by(|&a, &b| shifts[a].total_cmp(&shifts[b])).expect("nonempty");
+    let base_idx = (0..nshift).min_by(|&a, &b| shifts[a].total_cmp(&shifts[b])).expect("nonempty");
     let sigma0 = shifts[base_idx];
 
     let mut stats = SolveStats::new();
@@ -256,8 +255,7 @@ mod tests {
         let b = rand_b(n);
         let ms = multishift_cg(&mut s, &shifts, &b, 1e-10, 500).unwrap();
         assert!(
-            ms.converged_at[2] <= ms.converged_at[1]
-                && ms.converged_at[1] <= ms.converged_at[0],
+            ms.converged_at[2] <= ms.converged_at[1] && ms.converged_at[1] <= ms.converged_at[0],
             "convergence order: {:?}",
             ms.converged_at
         );
@@ -297,9 +295,6 @@ mod tests {
     fn empty_shift_list_is_config_error() {
         let mut s = DenseSpace::random_hpd(4, 5);
         let b = rand_b(4);
-        assert!(matches!(
-            multishift_cg(&mut s, &[], &b, 1e-8, 10),
-            Err(Error::Config(_))
-        ));
+        assert!(matches!(multishift_cg(&mut s, &[], &b, 1e-8, 10), Err(Error::Config(_))));
     }
 }

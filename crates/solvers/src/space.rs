@@ -17,6 +17,15 @@ pub struct SolveStats {
     pub residual: f64,
     /// Whether the target tolerance was reached.
     pub converged: bool,
+    /// Times the solve restarted at a higher floating-point precision
+    /// after a breakdown (the graceful-degradation ladder).
+    pub precision_fallbacks: usize,
+    /// Ghost-exchange retransmissions the communicator performed under
+    /// the deadline/retry protocol during the solve.
+    pub exchange_retries: u64,
+    /// Injected faults the communication world absorbed during the
+    /// solve (nonzero only in chaos tests).
+    pub faults_survived: u64,
 }
 
 impl SolveStats {
@@ -29,6 +38,9 @@ impl SolveStats {
             restarts: 0,
             residual: f64::INFINITY,
             converged: false,
+            precision_fallbacks: 0,
+            exchange_retries: 0,
+            faults_survived: 0,
         }
     }
 
@@ -37,6 +49,9 @@ impl SolveStats {
         self.iterations += inner.iterations;
         self.matvecs += inner.matvecs;
         self.precond_matvecs += inner.precond_matvecs;
+        self.precision_fallbacks += inner.precision_fallbacks;
+        self.exchange_retries += inner.exchange_retries;
+        self.faults_survived += inner.faults_survived;
     }
 }
 

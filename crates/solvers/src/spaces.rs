@@ -139,9 +139,9 @@ where
     field_space_blas!(WilsonSpinorAlias);
 }
 
+use lqcd_su3::ColorVector as ColorVectorAlias;
 /// Alias so the macro can name the site type generically.
 use lqcd_su3::WilsonSpinor as WilsonSpinorAlias;
-use lqcd_su3::ColorVector as ColorVectorAlias;
 
 impl<R: Real, C: Communicator> DirichletMatvec for EoWilsonSpace<R, C>
 where
@@ -263,7 +263,14 @@ impl<R: Real, C: Communicator> SolverSpace for FullWilsonSpace<R, C> {
 
     fn matvec(&mut self, out: &mut Self::V, x: &mut Self::V) -> Result<()> {
         self.matvecs += 1;
-        self.op.apply_full(&mut out.0, &mut out.1, &mut x.0, &mut x.1, &mut self.comm, BoundaryMode::Full)
+        self.op.apply_full(
+            &mut out.0,
+            &mut out.1,
+            &mut x.0,
+            &mut x.1,
+            &mut self.comm,
+            BoundaryMode::Full,
+        )
     }
 
     fn dot(&mut self, a: &Self::V, b: &Self::V) -> Result<Complex<f64>> {
@@ -372,10 +379,7 @@ where
         + lqcd_field::CastSiteAny<R2, Target = lqcd_su3::CloverSite<R2>>,
 {
     let gauge = op.gauge.cast::<R2>();
-    let clover = op
-        .clover
-        .as_ref()
-        .map(|c| [c[0].cast_all::<R2>(), c[1].cast_all::<R2>()]);
+    let clover = op.clover.as_ref().map(|c| [c[0].cast_all::<R2>(), c[1].cast_all::<R2>()]);
     let mut out = WilsonCloverOp::new(gauge, clover, op.mass)?;
     out.build_t_inverse()?;
     Ok(out)

@@ -28,13 +28,8 @@ fn wilson_op_serial() -> WilsonCloverOp<f64> {
     let seed = SeedTree::new(SEED);
     let sub = Arc::new(SubLattice::single(GLOBAL).unwrap());
     let faces = FaceGeometry::new(&sub, WILSON_DEPTH).unwrap();
-    let gauge = GaugeField::<f64>::generate(
-        sub,
-        &faces,
-        GLOBAL,
-        &seed,
-        GaugeStart::Disordered(DISORDER),
-    );
+    let gauge =
+        GaugeField::<f64>::generate(sub, &faces, GLOBAL, &seed, GaugeStart::Disordered(DISORDER));
     let clover = build_clover_field(&gauge, GLOBAL, 1.0);
     WilsonCloverOp::new(gauge, Some(clover), MASS).unwrap()
 }
@@ -54,19 +49,17 @@ fn wilson_op_for_rank<C: Communicator>(comm: &mut C, grid: &ProcessGrid) -> Wils
     // Clover built globally, restricted (site-diagonal).
     let gsub = Arc::new(SubLattice::single(GLOBAL).unwrap());
     let gfaces = FaceGeometry::new(&gsub, WILSON_DEPTH).unwrap();
-    let ggauge = GaugeField::<f64>::generate(
-        gsub,
-        &gfaces,
-        GLOBAL,
-        &seed,
-        GaugeStart::Disordered(DISORDER),
-    );
+    let ggauge =
+        GaugeField::<f64>::generate(gsub, &gfaces, GLOBAL, &seed, GaugeStart::Disordered(DISORDER));
     let gclover = build_clover_field(&ggauge, GLOBAL, 1.0);
     let clover = lqcd_gauge::clover_build::restrict_clover(&gclover, sub, &faces);
     WilsonCloverOp::new(gauge, Some(clover), MASS).unwrap()
 }
 
-fn rhs_for(space_sub: &Arc<SubLattice>, op: &WilsonCloverOp<f64>) -> lqcd_dirac::wilson::SpinorField<f64> {
+fn rhs_for(
+    space_sub: &Arc<SubLattice>,
+    op: &WilsonCloverOp<f64>,
+) -> lqcd_dirac::wilson::SpinorField<f64> {
     let seed = SeedTree::new(SEED).child("rhs");
     let mut b = op.alloc(Parity::Odd);
     let sub = space_sub.clone();
@@ -82,7 +75,11 @@ fn rhs_for(space_sub: &Arc<SubLattice>, op: &WilsonCloverOp<f64>) -> lqcd_dirac:
 }
 
 /// Verify a solution of `M̂ x = b` by applying the operator once more.
-fn verify_eo<C: Communicator>(space: &mut EoWilsonSpace<f64, C>, x: &lqcd_dirac::wilson::SpinorField<f64>, b: &lqcd_dirac::wilson::SpinorField<f64>) -> f64 {
+fn verify_eo<C: Communicator>(
+    space: &mut EoWilsonSpace<f64, C>,
+    x: &lqcd_dirac::wilson::SpinorField<f64>,
+    b: &lqcd_dirac::wilson::SpinorField<f64>,
+) -> f64 {
     let mut ax = space.alloc();
     let mut xc = x.clone();
     space.matvec(&mut ax, &mut xc).unwrap();
@@ -133,7 +130,8 @@ fn gcr_dd_solves_wilson_clover_distributed_and_matches_serial() {
         let b = rhs_for(&sub, &space.op);
         let mut x = space.alloc();
         let mut precond = SchwarzMR::new(6);
-        let params = GcrParams { tol: 1e-10, kmax: 16, delta: 0.05, maxiter: 4000, quantize_krylov: false };
+        let params =
+            GcrParams { tol: 1e-10, kmax: 16, delta: 0.05, maxiter: 4000, quantize_krylov: false };
         let stats = gcr(&mut space, &mut precond, &mut x, &b, &params).unwrap();
         // Compare with serial solution sitewise.
         let mut max_err = 0.0f64;
@@ -167,7 +165,8 @@ fn gcr_dd_beats_unpreconditioned_gcr_in_outer_iterations() {
         let sub = op.sublattice().clone();
         let mut space = EoWilsonSpace::new(op, comm).unwrap();
         let b = rhs_for(&sub, &space.op);
-        let params = GcrParams { tol: 1e-8, kmax: 16, delta: 0.05, maxiter: 4000, quantize_krylov: false };
+        let params =
+            GcrParams { tol: 1e-8, kmax: 16, delta: 0.05, maxiter: 4000, quantize_krylov: false };
         let mut x1 = space.alloc();
         let plain = gcr(&mut space, &mut IdentityPrecond, &mut x1, &b, &params).unwrap();
         let mut x2 = space.alloc();
@@ -175,10 +174,7 @@ fn gcr_dd_beats_unpreconditioned_gcr_in_outer_iterations() {
         (plain.iterations, dd.iterations)
     });
     let (plain, dd) = results[0];
-    assert!(
-        dd < plain,
-        "GCR-DD outer iterations {dd} should undercut plain GCR {plain}"
-    );
+    assert!(dd < plain, "GCR-DD outer iterations {dd} should undercut plain GCR {plain}");
 }
 
 #[test]
@@ -192,17 +188,11 @@ fn mixed_double_single_defect_correction_wilson() {
     let mut lo = EoWilsonSpace::new(op32, comm32).unwrap();
     let b = rhs_for(&sub, &hi.op);
     let mut x = hi.alloc();
-    let stats = defect_correction(
-        &mut hi,
-        &mut lo,
-        &FieldBridge,
-        &mut x,
-        &b,
-        1e-10,
-        30,
-        |space, e, r| bicgstab(space, e, r, 1e-4, 2000),
-    )
-    .unwrap();
+    let stats =
+        defect_correction(&mut hi, &mut lo, &FieldBridge, &mut x, &b, 1e-10, 30, |space, e, r| {
+            bicgstab(space, e, r, 1e-4, 2000)
+        })
+        .unwrap();
     assert!(stats.converged);
     assert!(stats.restarts >= 2, "double-single should take several cycles");
     assert!(verify_eo(&mut hi, &x, &b) < 1e-9);
@@ -234,21 +224,15 @@ fn single_half_half_gcr_dd_converges_to_single_accuracy() {
         });
         let mut x = space.alloc();
         let mut precond = SchwarzMR::new(10).quantized();
-        let params = GcrParams {
-            tol: 3e-5,
-            kmax: 16,
-            delta: 0.05,
-            maxiter: 4000,
-            quantize_krylov: true,
-        };
+        let params =
+            GcrParams { tol: 3e-5, kmax: 16, delta: 0.05, maxiter: 4000, quantize_krylov: true };
         let stats = gcr(&mut space, &mut precond, &mut x, &b, &params).unwrap();
         // True residual at f32.
         let mut ax = space.alloc();
         let mut xc = x.clone();
         space.matvec(&mut ax, &mut xc).unwrap();
         blas::xpay(&b, -1.0f32, &mut ax);
-        let resid =
-            (space.norm2(&ax).unwrap() / space.norm2(&b).unwrap()).sqrt();
+        let resid = (space.norm2(&ax).unwrap() / space.norm2(&b).unwrap()).sqrt();
         (stats.converged, resid)
     });
     for (rank, (conv, resid)) in results.iter().enumerate() {
@@ -323,18 +307,9 @@ fn staggered_mixed_multishift_refinement_matches_paper_strategy() {
         lqcd_su3::ColorVector::random(&mut seedb.stream(GLOBAL.index(c) as u64))
     });
     let shifts = [0.0, 0.25, 1.0];
-    let (solutions, stats) = multishift_refined(
-        &mut hi,
-        &mut lo,
-        &FieldBridge,
-        &shifts,
-        &b,
-        1e-10,
-        1e-5,
-        1e-5,
-        8000,
-    )
-    .unwrap();
+    let (solutions, stats) =
+        multishift_refined(&mut hi, &mut lo, &FieldBridge, &shifts, &b, 1e-10, 1e-5, 1e-5, 8000)
+            .unwrap();
     assert!(stats.converged);
     // Verify every shifted system at double precision.
     for (i, &sigma) in shifts.iter().enumerate() {
@@ -444,7 +419,13 @@ fn dd_outer_iterations_grow_as_blocks_shrink() {
             let mut space = EoWilsonSpace::new(op, comm).unwrap();
             let b = rhs_for(&sub, &space.op);
             let mut x = space.alloc();
-            let params = GcrParams { tol: 1e-8, kmax: 16, delta: 0.05, maxiter: 4000, quantize_krylov: false };
+            let params = GcrParams {
+                tol: 1e-8,
+                kmax: 16,
+                delta: 0.05,
+                maxiter: 4000,
+                quantize_krylov: false,
+            };
             let stats: SolveStats =
                 gcr(&mut space, &mut SchwarzMR::new(8), &mut x, &b, &params).unwrap();
             stats.iterations
@@ -454,10 +435,7 @@ fn dd_outer_iterations_grow_as_blocks_shrink() {
     // Non-strict monotonicity (small lattices can tie) but the 8-rank
     // blocks must need at least as many outer iterations as the 2-rank
     // blocks.
-    assert!(
-        iters[2] >= iters[0],
-        "outer iterations did not grow with shrinking blocks: {iters:?}"
-    );
+    assert!(iters[2] >= iters[0], "outer iterations did not grow with shrinking blocks: {iters:?}");
 }
 
 #[test]
@@ -568,9 +546,7 @@ fn even_odd_preconditioning_accelerates_the_solve() {
     let mut tinv_be = eo.op.alloc(Parity::Even);
     eo.op.t_inv_apply(&mut tinv_be, &b.0).unwrap();
     let mut bhat = eo.op.alloc(Parity::Odd);
-    eo.op
-        .dslash(&mut bhat, &mut tinv_be, &mut comm2, lqcd_dirac::BoundaryMode::Full)
-        .unwrap();
+    eo.op.dslash(&mut bhat, &mut tinv_be, &mut comm2, lqcd_dirac::BoundaryMode::Full).unwrap();
     blas::scale(&mut bhat, 0.25);
     blas::axpy(1.0, &b.1, &mut bhat);
     let mut x_o = eo.alloc();

@@ -175,13 +175,12 @@ pub fn invert6<R: Real>(
         }
         m.swap(col, pivot_row);
         inv.swap(col, pivot_row);
-        let p = m[col][col].inv().ok_or_else(|| Error::Breakdown {
-            solver: "invert6",
-            detail: "zero pivot".into(),
-        })?;
+        let p = m[col][col]
+            .inv()
+            .ok_or_else(|| Error::Breakdown { solver: "invert6", detail: "zero pivot".into() })?;
         for j in 0..BLOCK_DIM {
-            m[col][j] = m[col][j] * p;
-            inv[col][j] = inv[col][j] * p;
+            m[col][j] *= p;
+            inv[col][j] *= p;
         }
         for r in 0..BLOCK_DIM {
             if r == col {
@@ -194,8 +193,8 @@ pub fn invert6<R: Real>(
             for j in 0..BLOCK_DIM {
                 let mc = m[col][j];
                 let ic = inv[col][j];
-                m[r][j] = m[r][j] - factor * mc;
-                inv[r][j] = inv[r][j] - factor * ic;
+                m[r][j] -= factor * mc;
+                inv[r][j] -= factor * ic;
             }
         }
     }

@@ -47,6 +47,7 @@ impl Phase {
 
     /// Phase product.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Phase) -> Phase {
         let k = (self.quarter() + other.quarter()) % 4;
         Phase::from_quarter(k)
@@ -54,6 +55,7 @@ impl Phase {
 
     /// Negation.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Phase {
         self.mul(Phase::MinusOne)
     }
@@ -96,8 +98,7 @@ pub struct SpinMatrix {
 
 impl SpinMatrix {
     /// The spin-space identity.
-    pub const IDENTITY: SpinMatrix =
-        SpinMatrix { col: [0, 1, 2, 3], phase: [Phase::One; 4] };
+    pub const IDENTITY: SpinMatrix = SpinMatrix { col: [0, 1, 2, 3], phase: [Phase::One; 4] };
 
     /// Apply to a spinor.
     #[inline(always)]

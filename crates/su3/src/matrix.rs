@@ -168,7 +168,7 @@ impl<R: Real> Su3<R> {
         let mut r0 = [self.m[0][0], self.m[0][1], self.m[0][2]];
         let n0 = (r0[0].norm_sqr() + r0[1].norm_sqr() + r0[2].norm_sqr()).sqrt();
         for e in &mut r0 {
-            *e = *e / n0;
+            *e /= n0;
         }
         let mut r1 = [self.m[1][0], self.m[1][1], self.m[1][2]];
         // r1 -= (r1 · r0*) r0
@@ -177,11 +177,11 @@ impl<R: Real> Su3<R> {
             dot = Complex::mul_acc(dot, r1[k], r0[k].conj());
         }
         for k in 0..NCOLOR {
-            r1[k] = r1[k] - dot * r0[k];
+            r1[k] -= dot * r0[k];
         }
         let n1 = (r1[0].norm_sqr() + r1[1].norm_sqr() + r1[2].norm_sqr()).sqrt();
         for e in &mut r1 {
-            *e = *e / n1;
+            *e /= n1;
         }
         // r2 = conj(r0 × r1)
         let r2 = [

@@ -88,19 +88,13 @@ impl<R: Real> Complex<R> {
     /// `self * rhs.conj()` — the elementary inner-product term.
     #[inline(always)]
     pub fn mul_conj(self, rhs: Self) -> Self {
-        Self {
-            re: self.re * rhs.re + self.im * rhs.im,
-            im: self.im * rhs.re - self.re * rhs.im,
-        }
+        Self { re: self.re * rhs.re + self.im * rhs.im, im: self.im * rhs.re - self.re * rhs.im }
     }
 
     /// Fused multiply-accumulate: `acc + a * b`.
     #[inline(always)]
     pub fn mul_acc(acc: Self, a: Self, b: Self) -> Self {
-        Self {
-            re: acc.re + a.re * b.re - a.im * b.im,
-            im: acc.im + a.re * b.im + a.im * b.re,
-        }
+        Self { re: acc.re + a.re * b.re - a.im * b.im, im: acc.im + a.re * b.im + a.im * b.re }
     }
 
     /// Multiplicative inverse. Returns `None` for (exact) zero.
@@ -145,10 +139,7 @@ impl<R: Real> Mul for Complex<R> {
     type Output = Self;
     #[inline(always)]
     fn mul(self, rhs: Self) -> Self {
-        Self {
-            re: self.re * rhs.re - self.im * rhs.im,
-            im: self.re * rhs.im + self.im * rhs.re,
-        }
+        Self { re: self.re * rhs.re - self.im * rhs.im, im: self.re * rhs.im + self.im * rhs.re }
     }
 }
 

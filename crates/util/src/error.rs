@@ -34,6 +34,30 @@ pub enum Error {
     /// Message-passing failure (peer disappeared, tag mismatch, size
     /// mismatch).
     Comms(String),
+    /// A receive missed its deadline: the expected message from `peer`
+    /// never arrived (dropped, stalled sender, dead sender) within the
+    /// configured timeout, retries included.
+    Timeout {
+        /// Rank whose receive timed out.
+        rank: usize,
+        /// Rank the message was expected from.
+        peer: usize,
+        /// Exchange dimension (`None` for reductions/barriers).
+        mu: Option<usize>,
+        /// Full message tag (encodes class, dimension, direction,
+        /// sequence number).
+        tag: u64,
+        /// Total time spent waiting, retries included.
+        waited: std::time::Duration,
+    },
+    /// A rank died (panicked or closed its mailbox) and the world was
+    /// poisoned so surviving ranks stop instead of hanging.
+    RankFailure {
+        /// The rank that failed.
+        rank: usize,
+        /// What happened (panic payload or detection site).
+        detail: String,
+    },
     /// Experiment/bench configuration error.
     Config(String),
 }
@@ -51,6 +75,23 @@ impl fmt::Display for Error {
                 write!(f, "{solver} numerical breakdown: {detail}")
             }
             Error::Comms(msg) => write!(f, "communication error: {msg}"),
+            Error::Timeout { rank, peer, mu, tag, waited } => {
+                match mu {
+                    Some(mu) => write!(
+                        f,
+                        "rank {rank} timed out after {waited:?} waiting for peer {peer} \
+                         (mu {mu}, tag {tag:#x})"
+                    ),
+                    None => write!(
+                        f,
+                        "rank {rank} timed out after {waited:?} waiting for peer {peer} \
+                         in a reduction (tag {tag:#x})"
+                    ),
+                }
+            }
+            Error::RankFailure { rank, detail } => {
+                write!(f, "rank {rank} failed: {detail}")
+            }
             Error::Config(msg) => write!(f, "configuration error: {msg}"),
         }
     }
@@ -77,6 +118,23 @@ mod tests {
 
         assert!(Error::Geometry("bad".into()).to_string().contains("geometry"));
         assert!(Error::Comms("lost".into()).to_string().contains("communication"));
+
+        let t = Error::Timeout {
+            rank: 2,
+            peer: 3,
+            mu: Some(1),
+            tag: 0x42,
+            waited: std::time::Duration::from_millis(250),
+        };
+        let msg = t.to_string();
+        assert!(msg.contains("rank 2"));
+        assert!(msg.contains("peer 3"));
+        assert!(msg.contains("mu 1"));
+        assert!(msg.contains("0x42"));
+
+        let r = Error::RankFailure { rank: 5, detail: "panicked: boom".into() };
+        assert!(r.to_string().contains("rank 5"));
+        assert!(r.to_string().contains("boom"));
     }
 
     #[test]

@@ -38,7 +38,9 @@ impl SeedTree {
     /// An RNG for a specific global index (site, shift id, ...) under this
     /// tree. Streams for distinct indices are independent.
     pub fn stream(&self, index: u64) -> ChaCha8Rng {
-        ChaCha8Rng::seed_from_u64(splitmix(self.seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(index ^ 0xdead_beef))))
+        ChaCha8Rng::seed_from_u64(splitmix(
+            self.seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(index ^ 0xdead_beef)),
+        ))
     }
 
     /// A single RNG for bulk, order-insensitive uses.

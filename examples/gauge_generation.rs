@@ -26,13 +26,8 @@ fn main() -> Result<()> {
     println!("quenched SU(3) heatbath on {global}");
     println!("{:>6} {:>12} {:>14}", "β", "plaquette", "(strong-coupl.)");
     for beta in [0.9, 2.0, 5.7, 12.0] {
-        let mut g = GaugeField::<f64>::generate(
-            sub.clone(),
-            &faces,
-            global,
-            &seeds,
-            GaugeStart::Hot,
-        );
+        let mut g =
+            GaugeField::<f64>::generate(sub.clone(), &faces, global, &seeds, GaugeStart::Hot);
         for sweep in 0..10 {
             heatbath_sweep(&mut g, global, beta, &seeds, sweep);
         }

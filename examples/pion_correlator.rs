@@ -33,13 +33,14 @@ fn main() -> Result<()> {
     println!("{:>4} {:>14} {:>10}", "t", "C(t)", "m_eff");
     let half = corr.len() / 2;
     for (t, c) in corr.iter().enumerate() {
-        let m = if t < meff.len() && t < half { format!("{:>10.4}", meff[t]) } else { "         -".into() };
+        let m = if t < meff.len() && t < half {
+            format!("{:>10.4}", meff[t])
+        } else {
+            "         -".into()
+        };
         let bar_len = (12.0 + (c / corr[0]).log10() * 4.0).max(0.0) as usize;
         println!("{:>4} {:>14.6e} {} {}", t, c, m, "#".repeat(bar_len));
     }
-    println!(
-        "\nplateau effective mass (t = 3..6): {:.4}",
-        meff[3..6].iter().sum::<f64>() / 3.0
-    );
+    println!("\nplateau effective mass (t = 3..6): {:.4}", meff[3..6].iter().sum::<f64>() / 3.0);
     Ok(())
 }

@@ -10,8 +10,7 @@ use lqcd::perf::cost::{OpConfig, PartitionGeometry};
 use lqcd::prelude::*;
 
 fn main() -> Result<()> {
-    let gpus: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(64);
+    let gpus: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(64);
     let model = edge();
     let volume = Dims::symm(32, 256);
     let grid = PartitionScheme::XYZT.grid(volume, gpus)?;

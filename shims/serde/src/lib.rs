@@ -1,0 +1,238 @@
+//! Offline shim for the subset of `serde` this workspace uses.
+//!
+//! Provides [`Serialize`] (with a direct JSON-writing contract consumed
+//! by the `serde_json` shim) and [`Deserialize`] (a marker — nothing in
+//! the workspace deserializes), plus `#[derive(Serialize, Deserialize)]`
+//! via the sibling `serde_derive` shim. See `shims/README.md` for
+//! the rationale (no network access to crates.io in the build image).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can write itself as JSON.
+///
+/// Unlike real serde there is no data-model indirection: the only
+/// consumer in this workspace is JSON artifact output, so the contract
+/// *is* JSON. `indent` is the current pretty-printing depth.
+pub trait Serialize {
+    /// Append this value's JSON representation to `out`.
+    fn write_json(&self, out: &mut String, indent: usize);
+}
+
+/// Marker for deserializable types (unused at runtime; keeps
+/// `#[derive(Deserialize)]` and `use serde::Deserialize` compiling).
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String, _indent: usize) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String, _indent: usize) {
+                if self.is_finite() {
+                    // `{:?}` prints the shortest representation that
+                    // round-trips, and always includes a decimal point or
+                    // exponent — valid JSON for finite values.
+                    out.push_str(&format!("{self:?}"));
+                } else {
+                    // JSON has no NaN/inf; mirror serde_json's `null`.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn write_json(&self, out: &mut String, _indent: usize) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+/// Escape and quote a string per JSON.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Serialize for str {
+    fn write_json(&self, out: &mut String, _indent: usize) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        self.as_str().write_json(out, indent);
+    }
+}
+
+impl Serialize for char {
+    fn write_json(&self, out: &mut String, _indent: usize) {
+        write_json_string(&self.to_string(), out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        (**self).write_json(out, indent);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        match self {
+            Some(v) => v.write_json(out, indent),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        self.as_slice().write_json(out, indent);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        self.as_slice().write_json(out, indent);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        write_seq(self.iter(), out, indent);
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident : $idx:tt),+)),+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn write_json(&self, out: &mut String, indent: usize) {
+                let items: &[&dyn Serialize] = &[$(&self.$idx),+];
+                write_seq(items.iter().copied(), out, indent);
+            }
+        }
+    )+};
+}
+
+tuple_impls!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Write an iterator of serializable items as a pretty JSON array.
+pub fn write_seq<'a, T>(items: impl Iterator<Item = &'a T>, out: &mut String, indent: usize)
+where
+    T: Serialize + ?Sized + 'a,
+{
+    let mut any = false;
+    out.push('[');
+    for item in items {
+        if any {
+            out.push(',');
+        }
+        any = true;
+        out.push('\n');
+        pad(out, indent + 1);
+        item.write_json(out, indent + 1);
+    }
+    if any {
+        out.push('\n');
+        pad(out, indent);
+    }
+    out.push(']');
+}
+
+/// Write a field list as a pretty JSON object (used by derived impls).
+pub fn write_object(fields: &[(&str, &dyn Serialize)], out: &mut String, indent: usize) {
+    out.push('{');
+    for (i, (name, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        pad(out, indent + 1);
+        write_json_string(name, out);
+        out.push_str(": ");
+        value.write_json(out, indent + 1);
+    }
+    if !fields.is_empty() {
+        out.push('\n');
+        pad(out, indent);
+    }
+    out.push('}');
+}
+
+/// Write a tuple-struct body (used by derived impls): a 1-tuple unwraps
+/// to its inner value (matching serde's newtype-struct behaviour), larger
+/// tuples become arrays.
+pub fn write_tuple_struct(fields: &[&dyn Serialize], out: &mut String, indent: usize) {
+    match fields {
+        [single] => single.write_json(out, indent),
+        many => write_seq(many.iter().copied(), out, indent),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_and_containers() {
+        let mut s = String::new();
+        (1u32, -2.5f64, "hi\"", true).write_json(&mut s, 0);
+        assert!(s.contains("-2.5") && s.contains("\\\"") && s.contains("true"));
+
+        let mut s = String::new();
+        Option::<u8>::None.write_json(&mut s, 0);
+        assert_eq!(s, "null");
+
+        let mut s = String::new();
+        f64::NAN.write_json(&mut s, 0);
+        assert_eq!(s, "null");
+
+        let mut s = String::new();
+        vec![1u8, 2, 3].write_json(&mut s, 0);
+        assert_eq!(s.split_whitespace().collect::<String>(), "[1,2,3]");
+    }
+
+    #[test]
+    fn objects_nest_with_indentation() {
+        let mut s = String::new();
+        write_object(&[("a", &1u8), ("b", &[4u8, 5])], &mut s, 0);
+        assert!(s.contains("\"a\": 1"));
+        assert!(s.contains("\"b\": ["));
+    }
+}

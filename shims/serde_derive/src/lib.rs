@@ -1,0 +1,206 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Real `serde_derive` pulls in `syn`/`quote`, which are unavailable in
+//! this no-network build image, so the derives here parse the input
+//! token stream by hand. They support exactly the shapes this workspace
+//! serializes — named-field structs, tuple structs, and unit-variant
+//! enums, all non-generic, with no `#[serde(...)]` attributes — and
+//! fail loudly on anything else. See `shims/README.md`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum ItemKind {
+    /// Named-field struct, with the field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with this many fields.
+    TupleStruct(usize),
+    /// Enum of unit variants, with the variant names.
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+/// Advance past outer attributes (`#[...]`) and a visibility modifier
+/// (`pub`, `pub(...)`), returning the index of the next real token.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(name.to_string());
+        i += 1;
+        // Skip `: Type` up to the next top-level comma. Nested generics
+        // and arrays are single `Group` token trees, so a bare `,` here
+        // really is a field separator.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let mut count = 0;
+    let mut in_segment = false;
+    for tok in group.stream() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                if in_segment {
+                    count += 1;
+                }
+                in_segment = false;
+            }
+            _ => in_segment = true,
+        }
+    }
+    if in_segment {
+        count += 1;
+    }
+    count
+}
+
+fn parse_unit_variants(item: &str, group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        variants.push(name.to_string());
+        i += 1;
+        match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(other) => panic!(
+                "serde_derive shim: enum {item} variant {} is not a unit \
+                 variant (found `{other}`); only unit-variant enums are \
+                 supported",
+                variants.last().unwrap()
+            ),
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic type `{name}` is not supported");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item { name, kind: ItemKind::Struct(parse_named_fields(g)) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item { name, kind: ItemKind::TupleStruct(count_tuple_fields(g)) }
+            }
+            _ => panic!("serde_derive shim: unit struct `{name}` is not supported"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item { name: name.clone(), kind: ItemKind::Enum(parse_unit_variants(&name, g)) }
+            }
+            _ => panic!("serde_derive shim: malformed enum `{name}`"),
+        },
+        kw => panic!("serde_derive shim: cannot derive for `{kw} {name}`"),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let list = fields
+                .iter()
+                .map(|f| format!("(\"{f}\", &self.{f} as &dyn serde::Serialize)"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("serde::write_object(&[{list}], out, indent);")
+        }
+        ItemKind::TupleStruct(n) => {
+            let list = (0..*n)
+                .map(|i| format!("&self.{i} as &dyn serde::Serialize"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("serde::write_tuple_struct(&[{list}], out, indent);")
+        }
+        ItemKind::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .collect::<Vec<_>>()
+                .join(" ");
+            format!(
+                "let _ = indent; \
+                 let variant = match self {{ {arms} }}; \
+                 serde::write_json_string(variant, out);"
+            )
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn write_json(&self, out: &mut String, indent: usize) {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive shim: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("serde_derive shim: generated Deserialize impl failed to parse")
+}

@@ -1,0 +1,73 @@
+//! Offline shim for the subset of `serde_json` this workspace uses:
+//! pretty-printed serialization of artifact structs. Built on the serde
+//! shim's direct JSON-writing [`serde::Serialize`] contract. See
+//! `shims/README.md`.
+
+use std::fmt;
+
+/// Serialization error. The shim's serializer is infallible, so this is
+/// never constructed; it exists to keep `serde_json::Error` call sites
+/// (`Result` plumbing, `.expect(..)`) compiling unchanged.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as pretty-printed JSON (two-space indent, `": "`
+/// after keys — the same layout serde_json produces).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write_json(&mut out, 0);
+    Ok(out)
+}
+
+/// Serialize `value` as compact JSON. The shim emits the pretty form and
+/// strips the layout whitespace, which is equivalent for the artifact
+/// structs this workspace serializes (no string fields contain newlines;
+/// escaped `\n` sequences are untouched).
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let pretty = to_string_pretty(value)?;
+    let mut out = String::with_capacity(pretty.len());
+    for line in pretty.lines() {
+        out.push_str(line.trim_start());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Pair {
+        x: u64,
+        label: String,
+    }
+
+    impl serde::Serialize for Pair {
+        fn write_json(&self, out: &mut String, indent: usize) {
+            serde::write_object(&[("x", &self.x), ("label", &self.label)], out, indent);
+        }
+    }
+
+    #[test]
+    fn pretty_uses_colon_space_and_indent() {
+        let p = Pair { x: 7, label: "run".into() };
+        let s = to_string_pretty(&p).unwrap();
+        assert!(s.contains("\"x\": 7"), "{s}");
+        assert!(s.contains("\n  \"label\": \"run\""), "{s}");
+        assert!(s.starts_with('{') && s.ends_with('}'));
+    }
+
+    #[test]
+    fn compact_strips_layout() {
+        let p = Pair { x: 7, label: "run".into() };
+        let s = to_string(&p).unwrap();
+        assert_eq!(s, "{\"x\": 7,\"label\": \"run\"}");
+    }
+}

@@ -38,18 +38,21 @@ pub use lqcd_util as util;
 
 /// The items most programs need.
 pub mod prelude {
-    pub use lqcd_comms::{run_on_grid, Communicator, SharedComm, SingleComm, ThreadedComm};
+    pub use lqcd_comms::{
+        run_on_grid, run_on_grid_fallible, run_world_fallible, CommConfig, Communicator, FaultPlan,
+        FaultRule, FaultyComm, MsgClass, SharedComm, SingleComm, ThreadedComm,
+    };
     pub use lqcd_core::{
-        run_staggered_multishift, run_wilson_bicgstab, run_wilson_gcr_dd, StaggeredProblem,
-        WilsonProblem,
+        run_staggered_multishift, run_wilson_bicgstab, run_wilson_gcr_dd,
+        run_wilson_gcr_dd_resilient, PrecisionRung, StaggeredProblem, WilsonProblem,
     };
     pub use lqcd_dirac::{BoundaryMode, StaggeredOp, WilsonCloverOp};
     pub use lqcd_gauge::{average_plaquette, AsqtadLinks, GaugeField};
-    pub use lqcd_lattice::{Dims, PartitionScheme, Parity, ProcessGrid, SubLattice};
+    pub use lqcd_lattice::{Dims, Parity, PartitionScheme, ProcessGrid, SubLattice};
     pub use lqcd_perf::{edge, simulate_dslash, OperatorKind, Precision, Recon};
     pub use lqcd_solvers::{
-        bicgstab, cg, cgnr, gcr, lanczos_extremes, mr, multishift_cg, GcrParams,
-        IdentityPrecond, SchwarzMR, SolveStats, SolverSpace, Spectrum,
+        bicgstab, cg, cgnr, gcr, lanczos_extremes, mr, multishift_cg, GcrParams, IdentityPrecond,
+        SchwarzMR, SolveStats, SolverSpace, Spectrum,
     };
     pub use lqcd_su3::{ColorVector, Su3, WilsonSpinor};
     pub use lqcd_util::rng::SeedTree;

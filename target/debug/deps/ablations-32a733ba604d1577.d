@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablations-32a733ba604d1577.d: crates/bench/benches/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-32a733ba604d1577.rmeta: crates/bench/benches/ablations.rs Cargo.toml
+
+crates/bench/benches/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/blas_properties-0fdb3f7669d15c0f.d: crates/field/tests/blas_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblas_properties-0fdb3f7669d15c0f.rmeta: crates/field/tests/blas_properties.rs Cargo.toml
+
+crates/field/tests/blas_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-9cb40995825940d1.d: crates/comms/tests/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-9cb40995825940d1.rmeta: crates/comms/tests/chaos.rs Cargo.toml
+
+crates/comms/tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

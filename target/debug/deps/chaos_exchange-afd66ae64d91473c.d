@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_exchange-afd66ae64d91473c.d: crates/dirac/tests/chaos_exchange.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_exchange-afd66ae64d91473c.rmeta: crates/dirac/tests/chaos_exchange.rs Cargo.toml
+
+crates/dirac/tests/chaos_exchange.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

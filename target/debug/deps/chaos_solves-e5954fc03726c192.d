@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_solves-e5954fc03726c192.d: crates/solvers/tests/chaos_solves.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_solves-e5954fc03726c192.rmeta: crates/solvers/tests/chaos_solves.rs Cargo.toml
+
+crates/solvers/tests/chaos_solves.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

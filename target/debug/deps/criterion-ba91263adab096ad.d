@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-ba91263adab096ad.d: shims/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-ba91263adab096ad.rmeta: shims/criterion/src/lib.rs Cargo.toml
+
+shims/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-f8491b59feeec077.d: shims/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-f8491b59feeec077.rmeta: shims/criterion/src/lib.rs Cargo.toml
+
+shims/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/distributed-e984a44353c0ce4b.d: crates/dirac/tests/distributed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdistributed-e984a44353c0ce4b.rmeta: crates/dirac/tests/distributed.rs Cargo.toml
+
+crates/dirac/tests/distributed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-2c3a43edb54552bd.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-2c3a43edb54552bd: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures_regression-41dfaadb4ae006b2.d: tests/figures_regression.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures_regression-41dfaadb4ae006b2.rmeta: tests/figures_regression.rs Cargo.toml
+
+tests/figures_regression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures_regression-9d7a152dd1180a6f.d: tests/figures_regression.rs
+
+/root/repo/target/debug/deps/figures_regression-9d7a152dd1180a6f: tests/figures_regression.rs
+
+tests/figures_regression.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernels-95a1176c69f4213c.d: crates/bench/benches/kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernels-95a1176c69f4213c.rmeta: crates/bench/benches/kernels.rs Cargo.toml
+
+crates/bench/benches/kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

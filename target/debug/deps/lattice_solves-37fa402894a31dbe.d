@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lattice_solves-37fa402894a31dbe.d: crates/solvers/tests/lattice_solves.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblattice_solves-37fa402894a31dbe.rmeta: crates/solvers/tests/lattice_solves.rs Cargo.toml
+
+crates/solvers/tests/lattice_solves.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

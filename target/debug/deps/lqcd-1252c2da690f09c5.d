@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lqcd-1252c2da690f09c5.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblqcd-1252c2da690f09c5.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

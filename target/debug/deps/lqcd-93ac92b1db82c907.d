@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lqcd-93ac92b1db82c907.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblqcd-93ac92b1db82c907.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liblqcd-93ac92b1db82c907.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lqcd-9efe3099ef361ed2.d: src/lib.rs
+
+/root/repo/target/debug/deps/lqcd-9efe3099ef361ed2: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lqcd-c8e9f638167ef944.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblqcd-c8e9f638167ef944.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lqcd_bench-72c63971648c742c.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblqcd_bench-72c63971648c742c.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

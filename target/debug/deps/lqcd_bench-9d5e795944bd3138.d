@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lqcd_bench-9d5e795944bd3138.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblqcd_bench-9d5e795944bd3138.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

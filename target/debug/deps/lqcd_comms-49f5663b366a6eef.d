@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lqcd_comms-49f5663b366a6eef.d: crates/comms/src/lib.rs crates/comms/src/comm.rs crates/comms/src/faulty.rs crates/comms/src/single.rs crates/comms/src/threaded.rs
+
+/root/repo/target/debug/deps/liblqcd_comms-49f5663b366a6eef.rlib: crates/comms/src/lib.rs crates/comms/src/comm.rs crates/comms/src/faulty.rs crates/comms/src/single.rs crates/comms/src/threaded.rs
+
+/root/repo/target/debug/deps/liblqcd_comms-49f5663b366a6eef.rmeta: crates/comms/src/lib.rs crates/comms/src/comm.rs crates/comms/src/faulty.rs crates/comms/src/single.rs crates/comms/src/threaded.rs
+
+crates/comms/src/lib.rs:
+crates/comms/src/comm.rs:
+crates/comms/src/faulty.rs:
+crates/comms/src/single.rs:
+crates/comms/src/threaded.rs:

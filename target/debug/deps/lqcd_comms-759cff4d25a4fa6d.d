@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lqcd_comms-759cff4d25a4fa6d.d: crates/comms/src/lib.rs crates/comms/src/comm.rs crates/comms/src/faulty.rs crates/comms/src/single.rs crates/comms/src/threaded.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblqcd_comms-759cff4d25a4fa6d.rmeta: crates/comms/src/lib.rs crates/comms/src/comm.rs crates/comms/src/faulty.rs crates/comms/src/single.rs crates/comms/src/threaded.rs Cargo.toml
+
+crates/comms/src/lib.rs:
+crates/comms/src/comm.rs:
+crates/comms/src/faulty.rs:
+crates/comms/src/single.rs:
+crates/comms/src/threaded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

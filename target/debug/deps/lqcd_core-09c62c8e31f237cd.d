@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lqcd_core-09c62c8e31f237cd.d: crates/core/src/lib.rs crates/core/src/calibration.rs crates/core/src/drivers.rs crates/core/src/ensemble.rs crates/core/src/observables.rs crates/core/src/problem.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblqcd_core-09c62c8e31f237cd.rmeta: crates/core/src/lib.rs crates/core/src/calibration.rs crates/core/src/drivers.rs crates/core/src/ensemble.rs crates/core/src/observables.rs crates/core/src/problem.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/calibration.rs:
+crates/core/src/drivers.rs:
+crates/core/src/ensemble.rs:
+crates/core/src/observables.rs:
+crates/core/src/problem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lqcd_core-61ec3792764352b7.d: crates/core/src/lib.rs crates/core/src/calibration.rs crates/core/src/drivers.rs crates/core/src/ensemble.rs crates/core/src/observables.rs crates/core/src/problem.rs
+
+/root/repo/target/debug/deps/liblqcd_core-61ec3792764352b7.rlib: crates/core/src/lib.rs crates/core/src/calibration.rs crates/core/src/drivers.rs crates/core/src/ensemble.rs crates/core/src/observables.rs crates/core/src/problem.rs
+
+/root/repo/target/debug/deps/liblqcd_core-61ec3792764352b7.rmeta: crates/core/src/lib.rs crates/core/src/calibration.rs crates/core/src/drivers.rs crates/core/src/ensemble.rs crates/core/src/observables.rs crates/core/src/problem.rs
+
+crates/core/src/lib.rs:
+crates/core/src/calibration.rs:
+crates/core/src/drivers.rs:
+crates/core/src/ensemble.rs:
+crates/core/src/observables.rs:
+crates/core/src/problem.rs:

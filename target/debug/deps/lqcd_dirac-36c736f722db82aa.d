@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lqcd_dirac-36c736f722db82aa.d: crates/dirac/src/lib.rs crates/dirac/src/exchange.rs crates/dirac/src/reference.rs crates/dirac/src/staggered.rs crates/dirac/src/wilson.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblqcd_dirac-36c736f722db82aa.rmeta: crates/dirac/src/lib.rs crates/dirac/src/exchange.rs crates/dirac/src/reference.rs crates/dirac/src/staggered.rs crates/dirac/src/wilson.rs Cargo.toml
+
+crates/dirac/src/lib.rs:
+crates/dirac/src/exchange.rs:
+crates/dirac/src/reference.rs:
+crates/dirac/src/staggered.rs:
+crates/dirac/src/wilson.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lqcd_dirac-38ecd05f79e8aac9.d: crates/dirac/src/lib.rs crates/dirac/src/exchange.rs crates/dirac/src/reference.rs crates/dirac/src/staggered.rs crates/dirac/src/wilson.rs
+
+/root/repo/target/debug/deps/liblqcd_dirac-38ecd05f79e8aac9.rlib: crates/dirac/src/lib.rs crates/dirac/src/exchange.rs crates/dirac/src/reference.rs crates/dirac/src/staggered.rs crates/dirac/src/wilson.rs
+
+/root/repo/target/debug/deps/liblqcd_dirac-38ecd05f79e8aac9.rmeta: crates/dirac/src/lib.rs crates/dirac/src/exchange.rs crates/dirac/src/reference.rs crates/dirac/src/staggered.rs crates/dirac/src/wilson.rs
+
+crates/dirac/src/lib.rs:
+crates/dirac/src/exchange.rs:
+crates/dirac/src/reference.rs:
+crates/dirac/src/staggered.rs:
+crates/dirac/src/wilson.rs:

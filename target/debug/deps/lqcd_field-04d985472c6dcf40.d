@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lqcd_field-04d985472c6dcf40.d: crates/field/src/lib.rs crates/field/src/blas.rs crates/field/src/field.rs crates/field/src/half.rs crates/field/src/layout.rs crates/field/src/site.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblqcd_field-04d985472c6dcf40.rmeta: crates/field/src/lib.rs crates/field/src/blas.rs crates/field/src/field.rs crates/field/src/half.rs crates/field/src/layout.rs crates/field/src/site.rs Cargo.toml
+
+crates/field/src/lib.rs:
+crates/field/src/blas.rs:
+crates/field/src/field.rs:
+crates/field/src/half.rs:
+crates/field/src/layout.rs:
+crates/field/src/site.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

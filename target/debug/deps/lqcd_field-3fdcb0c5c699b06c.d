@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lqcd_field-3fdcb0c5c699b06c.d: crates/field/src/lib.rs crates/field/src/blas.rs crates/field/src/field.rs crates/field/src/half.rs crates/field/src/layout.rs crates/field/src/site.rs
+
+/root/repo/target/debug/deps/liblqcd_field-3fdcb0c5c699b06c.rlib: crates/field/src/lib.rs crates/field/src/blas.rs crates/field/src/field.rs crates/field/src/half.rs crates/field/src/layout.rs crates/field/src/site.rs
+
+/root/repo/target/debug/deps/liblqcd_field-3fdcb0c5c699b06c.rmeta: crates/field/src/lib.rs crates/field/src/blas.rs crates/field/src/field.rs crates/field/src/half.rs crates/field/src/layout.rs crates/field/src/site.rs
+
+crates/field/src/lib.rs:
+crates/field/src/blas.rs:
+crates/field/src/field.rs:
+crates/field/src/half.rs:
+crates/field/src/layout.rs:
+crates/field/src/site.rs:

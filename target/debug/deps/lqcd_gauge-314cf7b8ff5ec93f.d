@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/lqcd_gauge-314cf7b8ff5ec93f.d: crates/gauge/src/lib.rs crates/gauge/src/asqtad.rs crates/gauge/src/clover_build.rs crates/gauge/src/field.rs crates/gauge/src/heatbath.rs crates/gauge/src/hmc.rs crates/gauge/src/io.rs crates/gauge/src/paths.rs crates/gauge/src/plaquette.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblqcd_gauge-314cf7b8ff5ec93f.rmeta: crates/gauge/src/lib.rs crates/gauge/src/asqtad.rs crates/gauge/src/clover_build.rs crates/gauge/src/field.rs crates/gauge/src/heatbath.rs crates/gauge/src/hmc.rs crates/gauge/src/io.rs crates/gauge/src/paths.rs crates/gauge/src/plaquette.rs Cargo.toml
+
+crates/gauge/src/lib.rs:
+crates/gauge/src/asqtad.rs:
+crates/gauge/src/clover_build.rs:
+crates/gauge/src/field.rs:
+crates/gauge/src/heatbath.rs:
+crates/gauge/src/hmc.rs:
+crates/gauge/src/io.rs:
+crates/gauge/src/paths.rs:
+crates/gauge/src/plaquette.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

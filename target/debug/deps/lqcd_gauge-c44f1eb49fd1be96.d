@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/lqcd_gauge-c44f1eb49fd1be96.d: crates/gauge/src/lib.rs crates/gauge/src/asqtad.rs crates/gauge/src/clover_build.rs crates/gauge/src/field.rs crates/gauge/src/heatbath.rs crates/gauge/src/hmc.rs crates/gauge/src/io.rs crates/gauge/src/paths.rs crates/gauge/src/plaquette.rs
+
+/root/repo/target/debug/deps/liblqcd_gauge-c44f1eb49fd1be96.rlib: crates/gauge/src/lib.rs crates/gauge/src/asqtad.rs crates/gauge/src/clover_build.rs crates/gauge/src/field.rs crates/gauge/src/heatbath.rs crates/gauge/src/hmc.rs crates/gauge/src/io.rs crates/gauge/src/paths.rs crates/gauge/src/plaquette.rs
+
+/root/repo/target/debug/deps/liblqcd_gauge-c44f1eb49fd1be96.rmeta: crates/gauge/src/lib.rs crates/gauge/src/asqtad.rs crates/gauge/src/clover_build.rs crates/gauge/src/field.rs crates/gauge/src/heatbath.rs crates/gauge/src/hmc.rs crates/gauge/src/io.rs crates/gauge/src/paths.rs crates/gauge/src/plaquette.rs
+
+crates/gauge/src/lib.rs:
+crates/gauge/src/asqtad.rs:
+crates/gauge/src/clover_build.rs:
+crates/gauge/src/field.rs:
+crates/gauge/src/heatbath.rs:
+crates/gauge/src/hmc.rs:
+crates/gauge/src/io.rs:
+crates/gauge/src/paths.rs:
+crates/gauge/src/plaquette.rs:

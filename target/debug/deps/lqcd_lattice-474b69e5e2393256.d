@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lqcd_lattice-474b69e5e2393256.d: crates/lattice/src/lib.rs crates/lattice/src/dims.rs crates/lattice/src/face.rs crates/lattice/src/grid.rs crates/lattice/src/local.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblqcd_lattice-474b69e5e2393256.rmeta: crates/lattice/src/lib.rs crates/lattice/src/dims.rs crates/lattice/src/face.rs crates/lattice/src/grid.rs crates/lattice/src/local.rs Cargo.toml
+
+crates/lattice/src/lib.rs:
+crates/lattice/src/dims.rs:
+crates/lattice/src/face.rs:
+crates/lattice/src/grid.rs:
+crates/lattice/src/local.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lqcd_lattice-6427692c703744b5.d: crates/lattice/src/lib.rs crates/lattice/src/dims.rs crates/lattice/src/face.rs crates/lattice/src/grid.rs crates/lattice/src/local.rs
+
+/root/repo/target/debug/deps/liblqcd_lattice-6427692c703744b5.rlib: crates/lattice/src/lib.rs crates/lattice/src/dims.rs crates/lattice/src/face.rs crates/lattice/src/grid.rs crates/lattice/src/local.rs
+
+/root/repo/target/debug/deps/liblqcd_lattice-6427692c703744b5.rmeta: crates/lattice/src/lib.rs crates/lattice/src/dims.rs crates/lattice/src/face.rs crates/lattice/src/grid.rs crates/lattice/src/local.rs
+
+crates/lattice/src/lib.rs:
+crates/lattice/src/dims.rs:
+crates/lattice/src/face.rs:
+crates/lattice/src/grid.rs:
+crates/lattice/src/local.rs:

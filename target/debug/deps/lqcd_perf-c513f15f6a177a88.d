@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/lqcd_perf-c513f15f6a177a88.d: crates/perf/src/lib.rs crates/perf/src/capability.rs crates/perf/src/cost.rs crates/perf/src/model.rs crates/perf/src/solver_model.rs crates/perf/src/streams.rs crates/perf/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblqcd_perf-c513f15f6a177a88.rmeta: crates/perf/src/lib.rs crates/perf/src/capability.rs crates/perf/src/cost.rs crates/perf/src/model.rs crates/perf/src/solver_model.rs crates/perf/src/streams.rs crates/perf/src/sweep.rs Cargo.toml
+
+crates/perf/src/lib.rs:
+crates/perf/src/capability.rs:
+crates/perf/src/cost.rs:
+crates/perf/src/model.rs:
+crates/perf/src/solver_model.rs:
+crates/perf/src/streams.rs:
+crates/perf/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

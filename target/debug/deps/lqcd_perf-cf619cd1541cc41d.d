@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lqcd_perf-cf619cd1541cc41d.d: crates/perf/src/lib.rs crates/perf/src/capability.rs crates/perf/src/cost.rs crates/perf/src/model.rs crates/perf/src/solver_model.rs crates/perf/src/streams.rs crates/perf/src/sweep.rs
+
+/root/repo/target/debug/deps/liblqcd_perf-cf619cd1541cc41d.rlib: crates/perf/src/lib.rs crates/perf/src/capability.rs crates/perf/src/cost.rs crates/perf/src/model.rs crates/perf/src/solver_model.rs crates/perf/src/streams.rs crates/perf/src/sweep.rs
+
+/root/repo/target/debug/deps/liblqcd_perf-cf619cd1541cc41d.rmeta: crates/perf/src/lib.rs crates/perf/src/capability.rs crates/perf/src/cost.rs crates/perf/src/model.rs crates/perf/src/solver_model.rs crates/perf/src/streams.rs crates/perf/src/sweep.rs
+
+crates/perf/src/lib.rs:
+crates/perf/src/capability.rs:
+crates/perf/src/cost.rs:
+crates/perf/src/model.rs:
+crates/perf/src/solver_model.rs:
+crates/perf/src/streams.rs:
+crates/perf/src/sweep.rs:

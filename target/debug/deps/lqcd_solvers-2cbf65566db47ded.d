@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/lqcd_solvers-2cbf65566db47ded.d: crates/solvers/src/lib.rs crates/solvers/src/bicgstab.rs crates/solvers/src/cg.rs crates/solvers/src/cgnr.rs crates/solvers/src/gcr.rs crates/solvers/src/lanczos.rs crates/solvers/src/mixed.rs crates/solvers/src/mr.rs crates/solvers/src/multishift.rs crates/solvers/src/space.rs crates/solvers/src/spaces.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblqcd_solvers-2cbf65566db47ded.rmeta: crates/solvers/src/lib.rs crates/solvers/src/bicgstab.rs crates/solvers/src/cg.rs crates/solvers/src/cgnr.rs crates/solvers/src/gcr.rs crates/solvers/src/lanczos.rs crates/solvers/src/mixed.rs crates/solvers/src/mr.rs crates/solvers/src/multishift.rs crates/solvers/src/space.rs crates/solvers/src/spaces.rs Cargo.toml
+
+crates/solvers/src/lib.rs:
+crates/solvers/src/bicgstab.rs:
+crates/solvers/src/cg.rs:
+crates/solvers/src/cgnr.rs:
+crates/solvers/src/gcr.rs:
+crates/solvers/src/lanczos.rs:
+crates/solvers/src/mixed.rs:
+crates/solvers/src/mr.rs:
+crates/solvers/src/multishift.rs:
+crates/solvers/src/space.rs:
+crates/solvers/src/spaces.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

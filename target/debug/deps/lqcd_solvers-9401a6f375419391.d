@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/lqcd_solvers-9401a6f375419391.d: crates/solvers/src/lib.rs crates/solvers/src/bicgstab.rs crates/solvers/src/cg.rs crates/solvers/src/cgnr.rs crates/solvers/src/gcr.rs crates/solvers/src/lanczos.rs crates/solvers/src/mixed.rs crates/solvers/src/mr.rs crates/solvers/src/multishift.rs crates/solvers/src/space.rs crates/solvers/src/spaces.rs
+
+/root/repo/target/debug/deps/liblqcd_solvers-9401a6f375419391.rlib: crates/solvers/src/lib.rs crates/solvers/src/bicgstab.rs crates/solvers/src/cg.rs crates/solvers/src/cgnr.rs crates/solvers/src/gcr.rs crates/solvers/src/lanczos.rs crates/solvers/src/mixed.rs crates/solvers/src/mr.rs crates/solvers/src/multishift.rs crates/solvers/src/space.rs crates/solvers/src/spaces.rs
+
+/root/repo/target/debug/deps/liblqcd_solvers-9401a6f375419391.rmeta: crates/solvers/src/lib.rs crates/solvers/src/bicgstab.rs crates/solvers/src/cg.rs crates/solvers/src/cgnr.rs crates/solvers/src/gcr.rs crates/solvers/src/lanczos.rs crates/solvers/src/mixed.rs crates/solvers/src/mr.rs crates/solvers/src/multishift.rs crates/solvers/src/space.rs crates/solvers/src/spaces.rs
+
+crates/solvers/src/lib.rs:
+crates/solvers/src/bicgstab.rs:
+crates/solvers/src/cg.rs:
+crates/solvers/src/cgnr.rs:
+crates/solvers/src/gcr.rs:
+crates/solvers/src/lanczos.rs:
+crates/solvers/src/mixed.rs:
+crates/solvers/src/mr.rs:
+crates/solvers/src/multishift.rs:
+crates/solvers/src/space.rs:
+crates/solvers/src/spaces.rs:

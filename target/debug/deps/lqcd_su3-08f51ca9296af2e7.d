@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lqcd_su3-08f51ca9296af2e7.d: crates/su3/src/lib.rs crates/su3/src/clover.rs crates/su3/src/compress.rs crates/su3/src/gamma.rs crates/su3/src/matrix.rs crates/su3/src/spinor.rs crates/su3/src/vector.rs
+
+/root/repo/target/debug/deps/liblqcd_su3-08f51ca9296af2e7.rlib: crates/su3/src/lib.rs crates/su3/src/clover.rs crates/su3/src/compress.rs crates/su3/src/gamma.rs crates/su3/src/matrix.rs crates/su3/src/spinor.rs crates/su3/src/vector.rs
+
+/root/repo/target/debug/deps/liblqcd_su3-08f51ca9296af2e7.rmeta: crates/su3/src/lib.rs crates/su3/src/clover.rs crates/su3/src/compress.rs crates/su3/src/gamma.rs crates/su3/src/matrix.rs crates/su3/src/spinor.rs crates/su3/src/vector.rs
+
+crates/su3/src/lib.rs:
+crates/su3/src/clover.rs:
+crates/su3/src/compress.rs:
+crates/su3/src/gamma.rs:
+crates/su3/src/matrix.rs:
+crates/su3/src/spinor.rs:
+crates/su3/src/vector.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/lqcd_su3-e41a618f8d50fa36.d: crates/su3/src/lib.rs crates/su3/src/clover.rs crates/su3/src/compress.rs crates/su3/src/gamma.rs crates/su3/src/matrix.rs crates/su3/src/spinor.rs crates/su3/src/vector.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblqcd_su3-e41a618f8d50fa36.rmeta: crates/su3/src/lib.rs crates/su3/src/clover.rs crates/su3/src/compress.rs crates/su3/src/gamma.rs crates/su3/src/matrix.rs crates/su3/src/spinor.rs crates/su3/src/vector.rs Cargo.toml
+
+crates/su3/src/lib.rs:
+crates/su3/src/clover.rs:
+crates/su3/src/compress.rs:
+crates/su3/src/gamma.rs:
+crates/su3/src/matrix.rs:
+crates/su3/src/spinor.rs:
+crates/su3/src/vector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

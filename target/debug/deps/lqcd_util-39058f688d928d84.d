@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/lqcd_util-39058f688d928d84.d: crates/util/src/lib.rs crates/util/src/complex.rs crates/util/src/error.rs crates/util/src/half.rs crates/util/src/real.rs crates/util/src/rng.rs crates/util/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblqcd_util-39058f688d928d84.rmeta: crates/util/src/lib.rs crates/util/src/complex.rs crates/util/src/error.rs crates/util/src/half.rs crates/util/src/real.rs crates/util/src/rng.rs crates/util/src/stats.rs Cargo.toml
+
+crates/util/src/lib.rs:
+crates/util/src/complex.rs:
+crates/util/src/error.rs:
+crates/util/src/half.rs:
+crates/util/src/real.rs:
+crates/util/src/rng.rs:
+crates/util/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

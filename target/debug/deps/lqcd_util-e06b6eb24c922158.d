@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lqcd_util-e06b6eb24c922158.d: crates/util/src/lib.rs crates/util/src/complex.rs crates/util/src/error.rs crates/util/src/half.rs crates/util/src/real.rs crates/util/src/rng.rs crates/util/src/stats.rs
+
+/root/repo/target/debug/deps/liblqcd_util-e06b6eb24c922158.rlib: crates/util/src/lib.rs crates/util/src/complex.rs crates/util/src/error.rs crates/util/src/half.rs crates/util/src/real.rs crates/util/src/rng.rs crates/util/src/stats.rs
+
+/root/repo/target/debug/deps/liblqcd_util-e06b6eb24c922158.rmeta: crates/util/src/lib.rs crates/util/src/complex.rs crates/util/src/error.rs crates/util/src/half.rs crates/util/src/real.rs crates/util/src/rng.rs crates/util/src/stats.rs
+
+crates/util/src/lib.rs:
+crates/util/src/complex.rs:
+crates/util/src/error.rs:
+crates/util/src/half.rs:
+crates/util/src/real.rs:
+crates/util/src/rng.rs:
+crates/util/src/stats.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-3416ac5984c50f33.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-3416ac5984c50f33.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-3416ac5984c50f33.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-15b8726dc874da87.d: shims/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-15b8726dc874da87.rmeta: shims/rand/src/lib.rs Cargo.toml
+
+shims/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-5ada3d552d31a2c2.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-5ada3d552d31a2c2.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-5ada3d552d31a2c2.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand_chacha-8aeaa22572a87ada.d: shims/rand_chacha/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand_chacha-8aeaa22572a87ada.rmeta: shims/rand_chacha/src/lib.rs Cargo.toml
+
+shims/rand_chacha/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

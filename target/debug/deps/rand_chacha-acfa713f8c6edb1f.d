@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-acfa713f8c6edb1f.d: shims/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-acfa713f8c6edb1f.rlib: shims/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-acfa713f8c6edb1f.rmeta: shims/rand_chacha/src/lib.rs
+
+shims/rand_chacha/src/lib.rs:

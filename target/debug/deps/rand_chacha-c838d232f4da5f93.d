@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand_chacha-c838d232f4da5f93.d: shims/rand_chacha/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand_chacha-c838d232f4da5f93.rmeta: shims/rand_chacha/src/lib.rs Cargo.toml
+
+shims/rand_chacha/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

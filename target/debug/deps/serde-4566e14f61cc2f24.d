@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-4566e14f61cc2f24.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-4566e14f61cc2f24.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-4566e14f61cc2f24.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-90332dcd6a76229d.d: shims/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-90332dcd6a76229d.rmeta: shims/serde/src/lib.rs Cargo.toml
+
+shims/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

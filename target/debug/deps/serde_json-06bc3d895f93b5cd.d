@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-06bc3d895f93b5cd.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-06bc3d895f93b5cd.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-06bc3d895f93b5cd.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

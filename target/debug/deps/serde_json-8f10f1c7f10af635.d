@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_json-8f10f1c7f10af635.d: shims/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_json-8f10f1c7f10af635.rmeta: shims/serde_json/src/lib.rs Cargo.toml
+
+shims/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

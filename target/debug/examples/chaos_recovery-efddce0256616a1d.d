@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/chaos_recovery-efddce0256616a1d.d: examples/chaos_recovery.rs Cargo.toml
+
+/root/repo/target/debug/examples/libchaos_recovery-efddce0256616a1d.rmeta: examples/chaos_recovery.rs Cargo.toml
+
+examples/chaos_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gauge_generation-aa4175df2b0d6e3e.d: examples/gauge_generation.rs
+
+/root/repo/target/debug/examples/gauge_generation-aa4175df2b0d6e3e: examples/gauge_generation.rs
+
+examples/gauge_generation.rs:

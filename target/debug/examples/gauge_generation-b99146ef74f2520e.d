@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gauge_generation-b99146ef74f2520e.d: examples/gauge_generation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgauge_generation-b99146ef74f2520e.rmeta: examples/gauge_generation.rs Cargo.toml
+
+examples/gauge_generation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multishift_spectrum-b56f782a3a2f8389.d: examples/multishift_spectrum.rs
+
+/root/repo/target/debug/examples/multishift_spectrum-b56f782a3a2f8389: examples/multishift_spectrum.rs
+
+examples/multishift_spectrum.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multishift_spectrum-c4022691eb45f733.d: examples/multishift_spectrum.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmultishift_spectrum-c4022691eb45f733.rmeta: examples/multishift_spectrum.rs Cargo.toml
+
+examples/multishift_spectrum.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

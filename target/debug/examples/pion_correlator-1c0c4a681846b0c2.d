@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pion_correlator-1c0c4a681846b0c2.d: examples/pion_correlator.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpion_correlator-1c0c4a681846b0c2.rmeta: examples/pion_correlator.rs Cargo.toml
+
+examples/pion_correlator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pion_correlator-b3232e9dab5e1725.d: examples/pion_correlator.rs
+
+/root/repo/target/debug/examples/pion_correlator-b3232e9dab5e1725: examples/pion_correlator.rs
+
+examples/pion_correlator.rs:

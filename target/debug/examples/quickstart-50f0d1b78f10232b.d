@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-50f0d1b78f10232b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-50f0d1b78f10232b: examples/quickstart.rs
+
+examples/quickstart.rs:

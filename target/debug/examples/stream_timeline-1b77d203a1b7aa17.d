@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/stream_timeline-1b77d203a1b7aa17.d: examples/stream_timeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstream_timeline-1b77d203a1b7aa17.rmeta: examples/stream_timeline.rs Cargo.toml
+
+examples/stream_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stream_timeline-f861e0b264ca4a1b.d: examples/stream_timeline.rs
+
+/root/repo/target/debug/examples/stream_timeline-f861e0b264ca4a1b: examples/stream_timeline.rs
+
+examples/stream_timeline.rs:

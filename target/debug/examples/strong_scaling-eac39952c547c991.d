@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/strong_scaling-eac39952c547c991.d: examples/strong_scaling.rs
+
+/root/repo/target/debug/examples/strong_scaling-eac39952c547c991: examples/strong_scaling.rs
+
+examples/strong_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/strong_scaling-fce4cd5a5208799b.d: examples/strong_scaling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstrong_scaling-fce4cd5a5208799b.rmeta: examples/strong_scaling.rs Cargo.toml
+
+examples/strong_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

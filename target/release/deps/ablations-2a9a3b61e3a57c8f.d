@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-2a9a3b61e3a57c8f.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-2a9a3b61e3a57c8f: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

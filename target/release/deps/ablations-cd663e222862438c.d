@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-cd663e222862438c.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-cd663e222862438c: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

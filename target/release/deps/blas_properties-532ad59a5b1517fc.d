@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/blas_properties-532ad59a5b1517fc.d: crates/field/tests/blas_properties.rs
+
+/root/repo/target/release/deps/blas_properties-532ad59a5b1517fc: crates/field/tests/blas_properties.rs
+
+crates/field/tests/blas_properties.rs:

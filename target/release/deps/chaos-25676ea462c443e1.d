@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos-25676ea462c443e1.d: crates/comms/tests/chaos.rs
+
+/root/repo/target/release/deps/chaos-25676ea462c443e1: crates/comms/tests/chaos.rs
+
+crates/comms/tests/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos_exchange-4eb1051f0f5ea2f8.d: crates/dirac/tests/chaos_exchange.rs
+
+/root/repo/target/release/deps/chaos_exchange-4eb1051f0f5ea2f8: crates/dirac/tests/chaos_exchange.rs
+
+crates/dirac/tests/chaos_exchange.rs:

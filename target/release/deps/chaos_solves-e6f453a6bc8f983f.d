@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos_solves-e6f453a6bc8f983f.d: crates/solvers/tests/chaos_solves.rs
+
+/root/repo/target/release/deps/chaos_solves-e6f453a6bc8f983f: crates/solvers/tests/chaos_solves.rs
+
+crates/solvers/tests/chaos_solves.rs:

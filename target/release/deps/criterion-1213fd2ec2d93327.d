@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-1213fd2ec2d93327.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-1213fd2ec2d93327: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

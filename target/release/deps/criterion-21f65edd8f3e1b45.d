@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-21f65edd8f3e1b45.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-21f65edd8f3e1b45.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-21f65edd8f3e1b45.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/distributed-b7ff70b5d4b48197.d: crates/dirac/tests/distributed.rs
+
+/root/repo/target/release/deps/distributed-b7ff70b5d4b48197: crates/dirac/tests/distributed.rs
+
+crates/dirac/tests/distributed.rs:

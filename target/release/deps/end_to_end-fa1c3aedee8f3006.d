@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-fa1c3aedee8f3006.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-fa1c3aedee8f3006: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-cd5425c528cfcd6b.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-cd5425c528cfcd6b: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

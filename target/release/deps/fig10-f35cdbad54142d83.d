@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-f35cdbad54142d83.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-f35cdbad54142d83: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-1e76e7adf2c1fba8.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-1e76e7adf2c1fba8: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

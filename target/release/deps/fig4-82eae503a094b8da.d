@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-82eae503a094b8da.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-82eae503a094b8da: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

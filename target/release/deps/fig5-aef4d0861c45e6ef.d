@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-aef4d0861c45e6ef.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-aef4d0861c45e6ef: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

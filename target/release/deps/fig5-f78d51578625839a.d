@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-f78d51578625839a.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-f78d51578625839a: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

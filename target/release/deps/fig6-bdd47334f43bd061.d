@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-bdd47334f43bd061.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-bdd47334f43bd061: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-c3fff42b5c9425e1.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-c3fff42b5c9425e1: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-527e213283471564.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-527e213283471564: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

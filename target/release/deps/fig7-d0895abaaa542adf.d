@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-d0895abaaa542adf.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-d0895abaaa542adf: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

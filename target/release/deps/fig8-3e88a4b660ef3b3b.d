@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-3e88a4b660ef3b3b.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-3e88a4b660ef3b3b: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

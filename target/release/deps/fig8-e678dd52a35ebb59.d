@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-e678dd52a35ebb59.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-e678dd52a35ebb59: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

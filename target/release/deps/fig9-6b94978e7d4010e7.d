@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-6b94978e7d4010e7.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-6b94978e7d4010e7: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-ce133040959eaba8.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-ce133040959eaba8: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

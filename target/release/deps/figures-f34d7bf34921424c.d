@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-f34d7bf34921424c.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-f34d7bf34921424c: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures_regression-6ecd9bb0ec3db162.d: tests/figures_regression.rs
+
+/root/repo/target/release/deps/figures_regression-6ecd9bb0ec3db162: tests/figures_regression.rs
+
+tests/figures_regression.rs:

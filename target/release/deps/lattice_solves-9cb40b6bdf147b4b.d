@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lattice_solves-9cb40b6bdf147b4b.d: crates/solvers/tests/lattice_solves.rs
+
+/root/repo/target/release/deps/lattice_solves-9cb40b6bdf147b4b: crates/solvers/tests/lattice_solves.rs
+
+crates/solvers/tests/lattice_solves.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lqcd-a5f1d85d0af268c6.d: src/lib.rs
+
+/root/repo/target/release/deps/liblqcd-a5f1d85d0af268c6.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liblqcd-a5f1d85d0af268c6.rmeta: src/lib.rs
+
+src/lib.rs:

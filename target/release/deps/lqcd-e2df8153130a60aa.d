@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lqcd-e2df8153130a60aa.d: src/lib.rs
+
+/root/repo/target/release/deps/lqcd-e2df8153130a60aa: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lqcd_bench-6051d0f4aaf40901.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/lqcd_bench-6051d0f4aaf40901: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

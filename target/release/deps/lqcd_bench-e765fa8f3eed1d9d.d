@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lqcd_bench-e765fa8f3eed1d9d.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/liblqcd_bench-e765fa8f3eed1d9d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/liblqcd_bench-e765fa8f3eed1d9d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lqcd_comms-85499de3c525fcb0.d: crates/comms/src/lib.rs crates/comms/src/comm.rs crates/comms/src/faulty.rs crates/comms/src/single.rs crates/comms/src/threaded.rs
+
+/root/repo/target/release/deps/lqcd_comms-85499de3c525fcb0: crates/comms/src/lib.rs crates/comms/src/comm.rs crates/comms/src/faulty.rs crates/comms/src/single.rs crates/comms/src/threaded.rs
+
+crates/comms/src/lib.rs:
+crates/comms/src/comm.rs:
+crates/comms/src/faulty.rs:
+crates/comms/src/single.rs:
+crates/comms/src/threaded.rs:

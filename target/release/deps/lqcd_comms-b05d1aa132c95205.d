@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lqcd_comms-b05d1aa132c95205.d: crates/comms/src/lib.rs crates/comms/src/comm.rs crates/comms/src/faulty.rs crates/comms/src/single.rs crates/comms/src/threaded.rs
+
+/root/repo/target/release/deps/liblqcd_comms-b05d1aa132c95205.rlib: crates/comms/src/lib.rs crates/comms/src/comm.rs crates/comms/src/faulty.rs crates/comms/src/single.rs crates/comms/src/threaded.rs
+
+/root/repo/target/release/deps/liblqcd_comms-b05d1aa132c95205.rmeta: crates/comms/src/lib.rs crates/comms/src/comm.rs crates/comms/src/faulty.rs crates/comms/src/single.rs crates/comms/src/threaded.rs
+
+crates/comms/src/lib.rs:
+crates/comms/src/comm.rs:
+crates/comms/src/faulty.rs:
+crates/comms/src/single.rs:
+crates/comms/src/threaded.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lqcd_core-1ec9593568f5ee50.d: crates/core/src/lib.rs crates/core/src/calibration.rs crates/core/src/drivers.rs crates/core/src/ensemble.rs crates/core/src/observables.rs crates/core/src/problem.rs
+
+/root/repo/target/release/deps/lqcd_core-1ec9593568f5ee50: crates/core/src/lib.rs crates/core/src/calibration.rs crates/core/src/drivers.rs crates/core/src/ensemble.rs crates/core/src/observables.rs crates/core/src/problem.rs
+
+crates/core/src/lib.rs:
+crates/core/src/calibration.rs:
+crates/core/src/drivers.rs:
+crates/core/src/ensemble.rs:
+crates/core/src/observables.rs:
+crates/core/src/problem.rs:

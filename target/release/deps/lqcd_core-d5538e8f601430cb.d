@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lqcd_core-d5538e8f601430cb.d: crates/core/src/lib.rs crates/core/src/calibration.rs crates/core/src/drivers.rs crates/core/src/ensemble.rs crates/core/src/observables.rs crates/core/src/problem.rs
+
+/root/repo/target/release/deps/liblqcd_core-d5538e8f601430cb.rlib: crates/core/src/lib.rs crates/core/src/calibration.rs crates/core/src/drivers.rs crates/core/src/ensemble.rs crates/core/src/observables.rs crates/core/src/problem.rs
+
+/root/repo/target/release/deps/liblqcd_core-d5538e8f601430cb.rmeta: crates/core/src/lib.rs crates/core/src/calibration.rs crates/core/src/drivers.rs crates/core/src/ensemble.rs crates/core/src/observables.rs crates/core/src/problem.rs
+
+crates/core/src/lib.rs:
+crates/core/src/calibration.rs:
+crates/core/src/drivers.rs:
+crates/core/src/ensemble.rs:
+crates/core/src/observables.rs:
+crates/core/src/problem.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lqcd_dirac-3fb382477ab5eba7.d: crates/dirac/src/lib.rs crates/dirac/src/exchange.rs crates/dirac/src/reference.rs crates/dirac/src/staggered.rs crates/dirac/src/wilson.rs
+
+/root/repo/target/release/deps/liblqcd_dirac-3fb382477ab5eba7.rlib: crates/dirac/src/lib.rs crates/dirac/src/exchange.rs crates/dirac/src/reference.rs crates/dirac/src/staggered.rs crates/dirac/src/wilson.rs
+
+/root/repo/target/release/deps/liblqcd_dirac-3fb382477ab5eba7.rmeta: crates/dirac/src/lib.rs crates/dirac/src/exchange.rs crates/dirac/src/reference.rs crates/dirac/src/staggered.rs crates/dirac/src/wilson.rs
+
+crates/dirac/src/lib.rs:
+crates/dirac/src/exchange.rs:
+crates/dirac/src/reference.rs:
+crates/dirac/src/staggered.rs:
+crates/dirac/src/wilson.rs:

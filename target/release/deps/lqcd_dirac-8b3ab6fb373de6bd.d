@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lqcd_dirac-8b3ab6fb373de6bd.d: crates/dirac/src/lib.rs crates/dirac/src/exchange.rs crates/dirac/src/reference.rs crates/dirac/src/staggered.rs crates/dirac/src/wilson.rs
+
+/root/repo/target/release/deps/lqcd_dirac-8b3ab6fb373de6bd: crates/dirac/src/lib.rs crates/dirac/src/exchange.rs crates/dirac/src/reference.rs crates/dirac/src/staggered.rs crates/dirac/src/wilson.rs
+
+crates/dirac/src/lib.rs:
+crates/dirac/src/exchange.rs:
+crates/dirac/src/reference.rs:
+crates/dirac/src/staggered.rs:
+crates/dirac/src/wilson.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lqcd_field-0d5009d8dbd9d4f8.d: crates/field/src/lib.rs crates/field/src/blas.rs crates/field/src/field.rs crates/field/src/half.rs crates/field/src/layout.rs crates/field/src/site.rs
+
+/root/repo/target/release/deps/lqcd_field-0d5009d8dbd9d4f8: crates/field/src/lib.rs crates/field/src/blas.rs crates/field/src/field.rs crates/field/src/half.rs crates/field/src/layout.rs crates/field/src/site.rs
+
+crates/field/src/lib.rs:
+crates/field/src/blas.rs:
+crates/field/src/field.rs:
+crates/field/src/half.rs:
+crates/field/src/layout.rs:
+crates/field/src/site.rs:

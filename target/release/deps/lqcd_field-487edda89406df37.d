@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lqcd_field-487edda89406df37.d: crates/field/src/lib.rs crates/field/src/blas.rs crates/field/src/field.rs crates/field/src/half.rs crates/field/src/layout.rs crates/field/src/site.rs
+
+/root/repo/target/release/deps/liblqcd_field-487edda89406df37.rlib: crates/field/src/lib.rs crates/field/src/blas.rs crates/field/src/field.rs crates/field/src/half.rs crates/field/src/layout.rs crates/field/src/site.rs
+
+/root/repo/target/release/deps/liblqcd_field-487edda89406df37.rmeta: crates/field/src/lib.rs crates/field/src/blas.rs crates/field/src/field.rs crates/field/src/half.rs crates/field/src/layout.rs crates/field/src/site.rs
+
+crates/field/src/lib.rs:
+crates/field/src/blas.rs:
+crates/field/src/field.rs:
+crates/field/src/half.rs:
+crates/field/src/layout.rs:
+crates/field/src/site.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/lqcd_gauge-6e1d82fd1b4bbba6.d: crates/gauge/src/lib.rs crates/gauge/src/asqtad.rs crates/gauge/src/clover_build.rs crates/gauge/src/field.rs crates/gauge/src/heatbath.rs crates/gauge/src/hmc.rs crates/gauge/src/io.rs crates/gauge/src/paths.rs crates/gauge/src/plaquette.rs
+
+/root/repo/target/release/deps/lqcd_gauge-6e1d82fd1b4bbba6: crates/gauge/src/lib.rs crates/gauge/src/asqtad.rs crates/gauge/src/clover_build.rs crates/gauge/src/field.rs crates/gauge/src/heatbath.rs crates/gauge/src/hmc.rs crates/gauge/src/io.rs crates/gauge/src/paths.rs crates/gauge/src/plaquette.rs
+
+crates/gauge/src/lib.rs:
+crates/gauge/src/asqtad.rs:
+crates/gauge/src/clover_build.rs:
+crates/gauge/src/field.rs:
+crates/gauge/src/heatbath.rs:
+crates/gauge/src/hmc.rs:
+crates/gauge/src/io.rs:
+crates/gauge/src/paths.rs:
+crates/gauge/src/plaquette.rs:

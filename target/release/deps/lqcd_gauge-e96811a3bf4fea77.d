@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/lqcd_gauge-e96811a3bf4fea77.d: crates/gauge/src/lib.rs crates/gauge/src/asqtad.rs crates/gauge/src/clover_build.rs crates/gauge/src/field.rs crates/gauge/src/heatbath.rs crates/gauge/src/hmc.rs crates/gauge/src/io.rs crates/gauge/src/paths.rs crates/gauge/src/plaquette.rs
+
+/root/repo/target/release/deps/liblqcd_gauge-e96811a3bf4fea77.rlib: crates/gauge/src/lib.rs crates/gauge/src/asqtad.rs crates/gauge/src/clover_build.rs crates/gauge/src/field.rs crates/gauge/src/heatbath.rs crates/gauge/src/hmc.rs crates/gauge/src/io.rs crates/gauge/src/paths.rs crates/gauge/src/plaquette.rs
+
+/root/repo/target/release/deps/liblqcd_gauge-e96811a3bf4fea77.rmeta: crates/gauge/src/lib.rs crates/gauge/src/asqtad.rs crates/gauge/src/clover_build.rs crates/gauge/src/field.rs crates/gauge/src/heatbath.rs crates/gauge/src/hmc.rs crates/gauge/src/io.rs crates/gauge/src/paths.rs crates/gauge/src/plaquette.rs
+
+crates/gauge/src/lib.rs:
+crates/gauge/src/asqtad.rs:
+crates/gauge/src/clover_build.rs:
+crates/gauge/src/field.rs:
+crates/gauge/src/heatbath.rs:
+crates/gauge/src/hmc.rs:
+crates/gauge/src/io.rs:
+crates/gauge/src/paths.rs:
+crates/gauge/src/plaquette.rs:

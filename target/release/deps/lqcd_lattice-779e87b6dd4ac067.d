@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lqcd_lattice-779e87b6dd4ac067.d: crates/lattice/src/lib.rs crates/lattice/src/dims.rs crates/lattice/src/face.rs crates/lattice/src/grid.rs crates/lattice/src/local.rs
+
+/root/repo/target/release/deps/liblqcd_lattice-779e87b6dd4ac067.rlib: crates/lattice/src/lib.rs crates/lattice/src/dims.rs crates/lattice/src/face.rs crates/lattice/src/grid.rs crates/lattice/src/local.rs
+
+/root/repo/target/release/deps/liblqcd_lattice-779e87b6dd4ac067.rmeta: crates/lattice/src/lib.rs crates/lattice/src/dims.rs crates/lattice/src/face.rs crates/lattice/src/grid.rs crates/lattice/src/local.rs
+
+crates/lattice/src/lib.rs:
+crates/lattice/src/dims.rs:
+crates/lattice/src/face.rs:
+crates/lattice/src/grid.rs:
+crates/lattice/src/local.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lqcd_lattice-9eb2797cdbda1e4d.d: crates/lattice/src/lib.rs crates/lattice/src/dims.rs crates/lattice/src/face.rs crates/lattice/src/grid.rs crates/lattice/src/local.rs
+
+/root/repo/target/release/deps/lqcd_lattice-9eb2797cdbda1e4d: crates/lattice/src/lib.rs crates/lattice/src/dims.rs crates/lattice/src/face.rs crates/lattice/src/grid.rs crates/lattice/src/local.rs
+
+crates/lattice/src/lib.rs:
+crates/lattice/src/dims.rs:
+crates/lattice/src/face.rs:
+crates/lattice/src/grid.rs:
+crates/lattice/src/local.rs:

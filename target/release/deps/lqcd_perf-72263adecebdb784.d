@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lqcd_perf-72263adecebdb784.d: crates/perf/src/lib.rs crates/perf/src/capability.rs crates/perf/src/cost.rs crates/perf/src/model.rs crates/perf/src/solver_model.rs crates/perf/src/streams.rs crates/perf/src/sweep.rs
+
+/root/repo/target/release/deps/lqcd_perf-72263adecebdb784: crates/perf/src/lib.rs crates/perf/src/capability.rs crates/perf/src/cost.rs crates/perf/src/model.rs crates/perf/src/solver_model.rs crates/perf/src/streams.rs crates/perf/src/sweep.rs
+
+crates/perf/src/lib.rs:
+crates/perf/src/capability.rs:
+crates/perf/src/cost.rs:
+crates/perf/src/model.rs:
+crates/perf/src/solver_model.rs:
+crates/perf/src/streams.rs:
+crates/perf/src/sweep.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/lqcd_perf-9bb35a795818f6c3.d: crates/perf/src/lib.rs crates/perf/src/capability.rs crates/perf/src/cost.rs crates/perf/src/model.rs crates/perf/src/solver_model.rs crates/perf/src/streams.rs crates/perf/src/sweep.rs
+
+/root/repo/target/release/deps/liblqcd_perf-9bb35a795818f6c3.rlib: crates/perf/src/lib.rs crates/perf/src/capability.rs crates/perf/src/cost.rs crates/perf/src/model.rs crates/perf/src/solver_model.rs crates/perf/src/streams.rs crates/perf/src/sweep.rs
+
+/root/repo/target/release/deps/liblqcd_perf-9bb35a795818f6c3.rmeta: crates/perf/src/lib.rs crates/perf/src/capability.rs crates/perf/src/cost.rs crates/perf/src/model.rs crates/perf/src/solver_model.rs crates/perf/src/streams.rs crates/perf/src/sweep.rs
+
+crates/perf/src/lib.rs:
+crates/perf/src/capability.rs:
+crates/perf/src/cost.rs:
+crates/perf/src/model.rs:
+crates/perf/src/solver_model.rs:
+crates/perf/src/streams.rs:
+crates/perf/src/sweep.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/lqcd_solvers-be82dfa0748ced5a.d: crates/solvers/src/lib.rs crates/solvers/src/bicgstab.rs crates/solvers/src/cg.rs crates/solvers/src/cgnr.rs crates/solvers/src/gcr.rs crates/solvers/src/lanczos.rs crates/solvers/src/mixed.rs crates/solvers/src/mr.rs crates/solvers/src/multishift.rs crates/solvers/src/space.rs crates/solvers/src/spaces.rs
+
+/root/repo/target/release/deps/lqcd_solvers-be82dfa0748ced5a: crates/solvers/src/lib.rs crates/solvers/src/bicgstab.rs crates/solvers/src/cg.rs crates/solvers/src/cgnr.rs crates/solvers/src/gcr.rs crates/solvers/src/lanczos.rs crates/solvers/src/mixed.rs crates/solvers/src/mr.rs crates/solvers/src/multishift.rs crates/solvers/src/space.rs crates/solvers/src/spaces.rs
+
+crates/solvers/src/lib.rs:
+crates/solvers/src/bicgstab.rs:
+crates/solvers/src/cg.rs:
+crates/solvers/src/cgnr.rs:
+crates/solvers/src/gcr.rs:
+crates/solvers/src/lanczos.rs:
+crates/solvers/src/mixed.rs:
+crates/solvers/src/mr.rs:
+crates/solvers/src/multishift.rs:
+crates/solvers/src/space.rs:
+crates/solvers/src/spaces.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/lqcd_su3-8209ba9cda32429c.d: crates/su3/src/lib.rs crates/su3/src/clover.rs crates/su3/src/compress.rs crates/su3/src/gamma.rs crates/su3/src/matrix.rs crates/su3/src/spinor.rs crates/su3/src/vector.rs
+
+/root/repo/target/release/deps/liblqcd_su3-8209ba9cda32429c.rlib: crates/su3/src/lib.rs crates/su3/src/clover.rs crates/su3/src/compress.rs crates/su3/src/gamma.rs crates/su3/src/matrix.rs crates/su3/src/spinor.rs crates/su3/src/vector.rs
+
+/root/repo/target/release/deps/liblqcd_su3-8209ba9cda32429c.rmeta: crates/su3/src/lib.rs crates/su3/src/clover.rs crates/su3/src/compress.rs crates/su3/src/gamma.rs crates/su3/src/matrix.rs crates/su3/src/spinor.rs crates/su3/src/vector.rs
+
+crates/su3/src/lib.rs:
+crates/su3/src/clover.rs:
+crates/su3/src/compress.rs:
+crates/su3/src/gamma.rs:
+crates/su3/src/matrix.rs:
+crates/su3/src/spinor.rs:
+crates/su3/src/vector.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lqcd_su3-8ab9a83618cb7342.d: crates/su3/src/lib.rs crates/su3/src/clover.rs crates/su3/src/compress.rs crates/su3/src/gamma.rs crates/su3/src/matrix.rs crates/su3/src/spinor.rs crates/su3/src/vector.rs
+
+/root/repo/target/release/deps/lqcd_su3-8ab9a83618cb7342: crates/su3/src/lib.rs crates/su3/src/clover.rs crates/su3/src/compress.rs crates/su3/src/gamma.rs crates/su3/src/matrix.rs crates/su3/src/spinor.rs crates/su3/src/vector.rs
+
+crates/su3/src/lib.rs:
+crates/su3/src/clover.rs:
+crates/su3/src/compress.rs:
+crates/su3/src/gamma.rs:
+crates/su3/src/matrix.rs:
+crates/su3/src/spinor.rs:
+crates/su3/src/vector.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lqcd_util-6969ed7a9ee424c4.d: crates/util/src/lib.rs crates/util/src/complex.rs crates/util/src/error.rs crates/util/src/half.rs crates/util/src/real.rs crates/util/src/rng.rs crates/util/src/stats.rs
+
+/root/repo/target/release/deps/lqcd_util-6969ed7a9ee424c4: crates/util/src/lib.rs crates/util/src/complex.rs crates/util/src/error.rs crates/util/src/half.rs crates/util/src/real.rs crates/util/src/rng.rs crates/util/src/stats.rs
+
+crates/util/src/lib.rs:
+crates/util/src/complex.rs:
+crates/util/src/error.rs:
+crates/util/src/half.rs:
+crates/util/src/real.rs:
+crates/util/src/rng.rs:
+crates/util/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/lqcd_util-a12e4bca4bb29497.d: crates/util/src/lib.rs crates/util/src/complex.rs crates/util/src/error.rs crates/util/src/half.rs crates/util/src/real.rs crates/util/src/rng.rs crates/util/src/stats.rs
+
+/root/repo/target/release/deps/liblqcd_util-a12e4bca4bb29497.rlib: crates/util/src/lib.rs crates/util/src/complex.rs crates/util/src/error.rs crates/util/src/half.rs crates/util/src/real.rs crates/util/src/rng.rs crates/util/src/stats.rs
+
+/root/repo/target/release/deps/liblqcd_util-a12e4bca4bb29497.rmeta: crates/util/src/lib.rs crates/util/src/complex.rs crates/util/src/error.rs crates/util/src/half.rs crates/util/src/real.rs crates/util/src/rng.rs crates/util/src/stats.rs
+
+crates/util/src/lib.rs:
+crates/util/src/complex.rs:
+crates/util/src/error.rs:
+crates/util/src/half.rs:
+crates/util/src/real.rs:
+crates/util/src/rng.rs:
+crates/util/src/stats.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-9109e5574a859251.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-9109e5574a859251.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-9109e5574a859251.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

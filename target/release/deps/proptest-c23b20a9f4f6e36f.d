@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-c23b20a9f4f6e36f.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-c23b20a9f4f6e36f: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-a099dcab02748dcd.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a099dcab02748dcd.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a099dcab02748dcd.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-b5a71adcb6abd5a2.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-b5a71adcb6abd5a2: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

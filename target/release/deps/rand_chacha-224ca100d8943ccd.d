@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand_chacha-224ca100d8943ccd.d: shims/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/rand_chacha-224ca100d8943ccd: shims/rand_chacha/src/lib.rs
+
+shims/rand_chacha/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-774c4325c970a47f.d: shims/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-774c4325c970a47f.rlib: shims/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-774c4325c970a47f.rmeta: shims/rand_chacha/src/lib.rs
+
+shims/rand_chacha/src/lib.rs:

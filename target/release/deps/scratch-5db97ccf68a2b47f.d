@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scratch-5db97ccf68a2b47f.d: crates/comms/tests/scratch.rs
+
+/root/repo/target/release/deps/scratch-5db97ccf68a2b47f: crates/comms/tests/scratch.rs
+
+crates/comms/tests/scratch.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-897ac1323529904d.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-897ac1323529904d.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-897ac1323529904d.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

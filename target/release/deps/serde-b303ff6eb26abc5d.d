@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-b303ff6eb26abc5d.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-b303ff6eb26abc5d: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

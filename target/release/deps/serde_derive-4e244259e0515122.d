@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-4e244259e0515122.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-4e244259e0515122.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-c9c7582f9f833a52.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-c9c7582f9f833a52.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-f04a5ac7a7b5f824.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-f04a5ac7a7b5f824: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-89688fd9bbcf52d2.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/serde_json-89688fd9bbcf52d2: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-ff75f152df9aa689.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-ff75f152df9aa689.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-ff75f152df9aa689.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_probe_ladder-c6eff0b0e79b8d1e.d: examples/_probe_ladder.rs
+
+/root/repo/target/release/examples/_probe_ladder-c6eff0b0e79b8d1e: examples/_probe_ladder.rs
+
+examples/_probe_ladder.rs:

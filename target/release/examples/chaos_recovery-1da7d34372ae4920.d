@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/chaos_recovery-1da7d34372ae4920.d: examples/chaos_recovery.rs
+
+/root/repo/target/release/examples/chaos_recovery-1da7d34372ae4920: examples/chaos_recovery.rs
+
+examples/chaos_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/gauge_generation-d0d426c64228da69.d: examples/gauge_generation.rs
+
+/root/repo/target/release/examples/gauge_generation-d0d426c64228da69: examples/gauge_generation.rs
+
+examples/gauge_generation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/multishift_spectrum-cdec56524c891fb7.d: examples/multishift_spectrum.rs
+
+/root/repo/target/release/examples/multishift_spectrum-cdec56524c891fb7: examples/multishift_spectrum.rs
+
+examples/multishift_spectrum.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/pion_correlator-7744e4d5a1c0395a.d: examples/pion_correlator.rs
+
+/root/repo/target/release/examples/pion_correlator-7744e4d5a1c0395a: examples/pion_correlator.rs
+
+examples/pion_correlator.rs:

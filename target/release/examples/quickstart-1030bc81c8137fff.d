@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-1030bc81c8137fff.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-1030bc81c8137fff: examples/quickstart.rs
+
+examples/quickstart.rs:

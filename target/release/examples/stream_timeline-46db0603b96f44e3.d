@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/stream_timeline-46db0603b96f44e3.d: examples/stream_timeline.rs
+
+/root/repo/target/release/examples/stream_timeline-46db0603b96f44e3: examples/stream_timeline.rs
+
+examples/stream_timeline.rs:

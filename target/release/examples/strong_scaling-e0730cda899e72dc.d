@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/strong_scaling-e0730cda899e72dc.d: examples/strong_scaling.rs
+
+/root/repo/target/release/examples/strong_scaling-e0730cda899e72dc: examples/strong_scaling.rs
+
+examples/strong_scaling.rs:

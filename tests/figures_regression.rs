@@ -50,10 +50,7 @@ fn fig6_contract() {
 fn fig7_fig8_contract() {
     let pts = sweep::fig7_fig8(&edge(), &WilsonIterModel::default()).unwrap();
     let tts = |solver: &str, gpus: usize| {
-        pts.iter()
-            .find(|p| p.solver == solver && p.gpus == gpus)
-            .unwrap()
-            .time_to_solution
+        pts.iter().find(|p| p.solver == solver && p.gpus == gpus).unwrap().time_to_solution
     };
     // Crossover: BiCGstab superior (or equal) at ≤32 GPUs, GCR-DD wins
     // beyond, with the improvement growing toward the paper's 1.5–1.6×.
@@ -65,9 +62,8 @@ fn fig7_fig8_contract() {
     // BiCGstab stops scaling: ≤25 % total gain from 64 → 256.
     assert!(tts("BiCGstab", 64) / tts("BiCGstab", 256) < 1.25);
     // GCR-DD exceeds 10 sustained Tflops at ≥128 GPUs (§9.1).
-    let tf = |gpus: usize| {
-        pts.iter().find(|p| p.solver == "GCR-DD" && p.gpus == gpus).unwrap().tflops
-    };
+    let tf =
+        |gpus: usize| pts.iter().find(|p| p.solver == "GCR-DD" && p.gpus == gpus).unwrap().tflops;
     assert!(tf(128) >= 10.0 && tf(256) >= 10.0);
 }
 
@@ -89,10 +85,7 @@ fn fig9_contract() {
 fn fig10_contract() {
     let pts = sweep::fig10(&edge(), &StaggeredIterModel::default()).unwrap();
     let v = |scheme: &str, gpus: usize| {
-        pts.iter()
-            .find(|p| p.scheme == scheme && p.gpus == gpus)
-            .map(|p| p.total_tflops)
-            .unwrap()
+        pts.iter().find(|p| p.scheme == scheme && p.gpus == gpus).map(|p| p.total_tflops).unwrap()
     };
     // Reasonable strong scaling 64→256 (paper: 2.56×) and a total in the
     // few-Tflops range at 256 (paper: 5.49).
