@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-14483e17f44b376c.d: crates/comms/tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-14483e17f44b376c: crates/comms/tests/chaos.rs
+
+crates/comms/tests/chaos.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lqcd_comms-40dc3420cd914874.d: crates/comms/src/lib.rs crates/comms/src/comm.rs crates/comms/src/faulty.rs crates/comms/src/single.rs crates/comms/src/threaded.rs
+
+/root/repo/target/debug/deps/lqcd_comms-40dc3420cd914874: crates/comms/src/lib.rs crates/comms/src/comm.rs crates/comms/src/faulty.rs crates/comms/src/single.rs crates/comms/src/threaded.rs
+
+crates/comms/src/lib.rs:
+crates/comms/src/comm.rs:
+crates/comms/src/faulty.rs:
+crates/comms/src/single.rs:
+crates/comms/src/threaded.rs:

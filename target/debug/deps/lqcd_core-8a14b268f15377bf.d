@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lqcd_core-8a14b268f15377bf.d: crates/core/src/lib.rs crates/core/src/calibration.rs crates/core/src/drivers.rs crates/core/src/ensemble.rs crates/core/src/observables.rs crates/core/src/problem.rs
+
+/root/repo/target/debug/deps/lqcd_core-8a14b268f15377bf: crates/core/src/lib.rs crates/core/src/calibration.rs crates/core/src/drivers.rs crates/core/src/ensemble.rs crates/core/src/observables.rs crates/core/src/problem.rs
+
+crates/core/src/lib.rs:
+crates/core/src/calibration.rs:
+crates/core/src/drivers.rs:
+crates/core/src/ensemble.rs:
+crates/core/src/observables.rs:
+crates/core/src/problem.rs:

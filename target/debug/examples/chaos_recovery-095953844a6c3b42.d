@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chaos_recovery-095953844a6c3b42.d: examples/chaos_recovery.rs
+
+/root/repo/target/debug/examples/chaos_recovery-095953844a6c3b42: examples/chaos_recovery.rs
+
+examples/chaos_recovery.rs:
