@@ -16,7 +16,9 @@ use lqcd_comms::{
 use lqcd_dirac::WilsonCloverOp;
 use lqcd_lattice::ProcessGrid;
 use lqcd_solvers::spaces::{cast_wilson_op, EoWilsonSpace, StaggeredNormalSpace};
-use lqcd_solvers::{bicgstab, gcr, multishift_cg, SchwarzMR, SolveStats, SolverSpace};
+use lqcd_solvers::{
+    bicgstab, gcr, gcr_monitored, multishift_cg, SchwarzMR, SolveStats, SolveWatchdog, SolverSpace,
+};
 use lqcd_util::{Error, Result};
 
 /// Per-rank outcome of a Wilson solve.
@@ -132,7 +134,7 @@ impl PrecisionRung {
 /// (NaN from corruption, quantization overflow) and convergence stalls.
 /// Communication failures (timeout, dead rank) are not — more precision
 /// will not resurrect a peer.
-fn recoverable(e: &Error) -> bool {
+pub(crate) fn recoverable(e: &Error) -> bool {
     matches!(e, Error::Breakdown { .. } | Error::NoConvergence { .. })
 }
 
@@ -151,7 +153,11 @@ fn gcr_dd_attempt<C: Communicator>(
             let mut space = $space;
             let b = p.rhs(&space.op);
             let mut x = space.alloc();
-            let stats = gcr(&mut space, &mut $precond, &mut x, &b, &$params)?;
+            // The watchdog rides every rung of the ladder: a NaN or a
+            // stagnating attempt becomes a structured breakdown the
+            // ladder can escalate instead of a burned iteration budget.
+            let mut dog = SolveWatchdog::new("gcr-dd", p.watchdog);
+            let stats = gcr_monitored(&mut space, &mut $precond, &mut x, &b, &$params, &mut dog)?;
             let n2 = space.norm2(&x)?;
             Ok(WilsonSolveOutcome {
                 stats,

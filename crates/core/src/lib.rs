@@ -11,6 +11,10 @@
 //!   [`drivers::run_wilson_gcr_dd_resilient`] adds the fault-tolerant
 //!   variant (deadline/retry comms, panic-safe launch, precision-fallback
 //!   ladder);
+//! * [`supervise`] — checkpoint/restart for long solves: periodic field
+//!   snapshots at GCR restart boundaries, watchdog monitoring, and
+//!   [`supervise::run_wilson_gcr_dd_supervised`], which rebuilds a dead
+//!   world and resumes from the newest common checkpoint;
 //! * [`calibration`] — measured-iteration experiments linking the real
 //!   solvers to the performance model's iteration inputs (the
 //!   EXPERIMENTS.md data).
@@ -20,9 +24,14 @@ pub mod drivers;
 pub mod ensemble;
 pub mod observables;
 pub mod problem;
+pub mod supervise;
 
 pub use drivers::{
     run_staggered_multishift, run_wilson_bicgstab, run_wilson_gcr_dd, run_wilson_gcr_dd_resilient,
     PrecisionRung, StaggeredSolveOutcome, WilsonSolveOutcome,
 };
 pub use problem::{StaggeredProblem, WilsonProblem};
+pub use supervise::{
+    run_wilson_gcr_dd_supervised, CheckpointingMonitor, SolveCheckpointMeta, SupervisedOutcome,
+    SupervisorConfig,
+};

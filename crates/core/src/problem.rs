@@ -15,7 +15,7 @@ use lqcd_gauge::clover_build::{build_clover_field, restrict_clover};
 use lqcd_gauge::field::GaugeStart;
 use lqcd_gauge::GaugeField;
 use lqcd_lattice::{Dims, FaceGeometry, Parity, ProcessGrid, SubLattice};
-use lqcd_solvers::GcrParams;
+use lqcd_solvers::{GcrParams, WatchdogConfig};
 use lqcd_su3::{ColorVector, WilsonSpinor};
 use lqcd_util::rng::SeedTree;
 use lqcd_util::{Real, Result};
@@ -43,6 +43,9 @@ pub struct WilsonProblem {
     pub gcr: GcrParams,
     /// MR steps in the Schwarz preconditioner.
     pub mr_steps: usize,
+    /// Solver-health watchdog thresholds (threaded through every rung of
+    /// the GCR-DD drivers' precision ladder).
+    pub watchdog: WatchdogConfig,
 }
 
 impl WilsonProblem {
@@ -64,6 +67,7 @@ impl WilsonProblem {
                 quantize_krylov: false,
             },
             mr_steps: 8,
+            watchdog: WatchdogConfig::default(),
         }
     }
 

@@ -1,0 +1,161 @@
+//! Chaos tests for the supervised checkpoint/restart driver: a rank is
+//! killed mid-solve by fault injection and the supervisor must tear the
+//! world down, rebuild it, restore the newest common checkpoint, and
+//! resume to the same tolerance an undisturbed solve reaches.
+
+use lqcd_comms::{CommConfig, FaultPlan, FaultRule};
+use lqcd_core::drivers::{run_wilson_gcr_dd, PrecisionRung};
+use lqcd_core::supervise::{run_wilson_gcr_dd_supervised, SupervisorConfig};
+use lqcd_core::WilsonProblem;
+use lqcd_lattice::{Dims, ProcessGrid};
+use lqcd_util::{BreakdownKind, Error};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// The small chaos problem: single-precision-friendly tolerance and a
+/// short GCR cycle so restart boundaries (= checkpoint opportunities)
+/// come up every few outer iterations.
+fn chaos_problem() -> (WilsonProblem, ProcessGrid) {
+    let mut p = WilsonProblem::small();
+    p.tol = 3e-5;
+    p.gcr.tol = 3e-5;
+    p.gcr.kmax = 8;
+    let grid = ProcessGrid::new(Dims([1, 1, 2, 2]), p.global).unwrap();
+    (p, grid)
+}
+
+/// A fresh checkpoint root per test so suites can run concurrently.
+fn ckpt_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lqcd-chaos-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn fault_free_supervised_solve_matches_plain_driver() {
+    let (p, grid) = chaos_problem();
+    let dir = ckpt_dir("fault-free");
+    let plain = run_wilson_gcr_dd(&p, grid.clone(), false).unwrap();
+    let sup = SupervisorConfig::new(&dir);
+    let out = run_wilson_gcr_dd_supervised(
+        &p,
+        grid,
+        PrecisionRung::Double,
+        CommConfig::resilient(),
+        &sup,
+        |_| None,
+    );
+    assert_eq!(out.attempts, 1, "an undisturbed solve needs exactly one world launch");
+    assert_eq!(out.resumed_generations, vec![None]);
+    for (slot, r) in out.outcomes.iter().enumerate() {
+        let o = r.as_ref().unwrap_or_else(|e| panic!("rank {slot}: {e}"));
+        assert!(o.stats.converged);
+        assert!(o.stats.residual <= p.tol);
+        assert_eq!(o.stats.supervisor_restarts, 0);
+        assert!(!o.stats.resumed_from_checkpoint);
+        // Checkpoints were cut at the restart boundaries along the way.
+        assert!(o.stats.checkpoints_written > 0, "rank {slot} wrote no checkpoints");
+        // Identical Krylov trajectory to the unsupervised driver.
+        let rel =
+            (o.solution_norm2 - plain[slot].solution_norm2).abs() / plain[slot].solution_norm2;
+        assert!(rel < 1e-10, "rank {slot} diverged from the plain driver: {rel}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The headline chaos test: rank 2 is killed mid-solve on the first
+/// world launch, after checkpoints exist. The supervisor rebuilds the
+/// world, every rank restores the newest *common* checkpoint generation,
+/// and the resumed solve converges to the same tolerance as an
+/// uninterrupted one — with the restart and the resume recorded in the
+/// per-rank [`SolveStats`].
+#[test]
+fn rank_death_mid_solve_is_supervised_back_to_convergence() {
+    let (p, grid) = chaos_problem();
+    let dir = ckpt_dir("rank-death");
+    let config = CommConfig::resilient().with_timeout(Duration::from_secs(2));
+    let sup = SupervisorConfig::new(&dir);
+    // Kill rank 2 well into the solve (past several restart boundaries)
+    // on the first launch only: FaultPlan counters are per-world, so the
+    // supervisor must be handed a fresh, fault-free plan for the retry.
+    let started = std::time::Instant::now();
+    let out =
+        run_wilson_gcr_dd_supervised(&p, grid, PrecisionRung::Double, config, &sup, |attempt| {
+            (attempt == 0).then(|| {
+                FaultPlan::new(47).with_rule(FaultRule::die_rank().on_rank(2).after(62).times(1))
+            })
+        });
+    assert!(started.elapsed() < Duration::from_secs(120), "supervision must not hang");
+    assert_eq!(out.attempts, 2, "one death, one supervised restart");
+    assert_eq!(out.resumed_generations[0], None);
+    let resumed = out.resumed_generations[1]
+        .expect("the retry must resume from a checkpoint, not start from scratch");
+    assert!(resumed >= 1);
+    for (slot, r) in out.outcomes.iter().enumerate() {
+        let o = r.as_ref().unwrap_or_else(|e| panic!("rank {slot}: {e}"));
+        assert!(o.stats.converged, "rank {slot}: {:?}", o.stats);
+        assert!(
+            o.stats.residual <= p.tol,
+            "rank {slot} resumed solve missed tolerance: {} > {}",
+            o.stats.residual,
+            p.tol
+        );
+        assert_eq!(o.stats.supervisor_restarts, 1, "rank {slot}");
+        assert!(o.stats.resumed_from_checkpoint, "rank {slot}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A death so early that no checkpoint exists yet: the supervisor still
+/// recovers — the retry simply starts from a zero guess.
+#[test]
+fn death_before_any_checkpoint_restarts_from_scratch() {
+    let (p, grid) = chaos_problem();
+    let dir = ckpt_dir("early-death");
+    let config = CommConfig::resilient().with_timeout(Duration::from_secs(2));
+    let sup = SupervisorConfig::new(&dir);
+    let out =
+        run_wilson_gcr_dd_supervised(&p, grid, PrecisionRung::Double, config, &sup, |attempt| {
+            (attempt == 0).then(|| {
+                FaultPlan::new(53).with_rule(FaultRule::die_rank().on_rank(1).after(2).times(1))
+            })
+        });
+    assert_eq!(out.attempts, 2);
+    assert_eq!(out.resumed_generations, vec![None, None]);
+    for (slot, r) in out.outcomes.iter().enumerate() {
+        let o = r.as_ref().unwrap_or_else(|e| panic!("rank {slot}: {e}"));
+        assert!(o.stats.converged);
+        assert_eq!(o.stats.supervisor_restarts, 1);
+        assert!(!o.stats.resumed_from_checkpoint, "no checkpoint existed to resume from");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An exhausted restart budget surfaces the underlying failure instead
+/// of looping forever: with `max_restarts = 0` and a watchdog wall-clock
+/// budget of zero, every rank reports the structured wall-clock
+/// breakdown from its own watchdog.
+#[test]
+fn watchdog_trip_with_no_restart_budget_is_a_structured_failure() {
+    let (p, grid) = chaos_problem();
+    let dir = ckpt_dir("watchdog-trip");
+    let mut sup = SupervisorConfig::new(&dir);
+    sup.max_restarts = 0;
+    sup.watchdog.wall_clock = Some(Duration::ZERO);
+    let out = run_wilson_gcr_dd_supervised(
+        &p,
+        grid,
+        PrecisionRung::Double,
+        CommConfig::resilient(),
+        &sup,
+        |_| None,
+    );
+    assert_eq!(out.attempts, 1);
+    for (slot, r) in out.outcomes.iter().enumerate() {
+        match r {
+            Err(Error::Breakdown { kind: BreakdownKind::WallClock, .. }) => {}
+            other => panic!("rank {slot}: expected a wall-clock breakdown, got {other:?}"),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

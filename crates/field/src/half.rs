@@ -80,6 +80,32 @@ impl<S: SiteObject<f32>> HalfField<S> {
     pub fn reals_per_site(&self) -> usize {
         self.reals_per_site
     }
+
+    /// The per-site `f32` norms (storage view, used by snapshots).
+    pub fn norms(&self) -> &[f32] {
+        &self.norms
+    }
+
+    /// The 16-bit mantissas (storage view, used by snapshots).
+    pub fn mantissas(&self) -> &[Fixed16] {
+        &self.mantissas
+    }
+
+    /// Rebuild storage from its raw parts (the inverse of the snapshot
+    /// views above). Errors on inconsistent lengths instead of panicking —
+    /// the parts may come from untrusted on-disk data.
+    pub fn from_parts(mantissas: Vec<Fixed16>, norms: Vec<f32>) -> lqcd_util::Result<Self> {
+        if mantissas.len() != norms.len() * S::REALS {
+            return Err(lqcd_util::Error::Shape(format!(
+                "half-field parts disagree: {} mantissas for {} sites × {} reals/site",
+                mantissas.len(),
+                norms.len(),
+                S::REALS
+            )));
+        }
+        let sites = norms.len();
+        Ok(Self { mantissas, norms, sites, reals_per_site: S::REALS, _site: PhantomData })
+    }
 }
 
 /// Precision-dispatched in-place quantization: a no-op at double

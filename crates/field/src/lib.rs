@@ -23,15 +23,19 @@
 //! * [`blas`] — free-standing fused kernels (axpy/caxpy/dot/norm²/...)
 //!   including the multi-shift update kernels;
 //! * [`half`] — whole-field 16-bit fixed-point encode/decode used by the
-//!   mixed-precision solvers.
+//!   mixed-precision solvers;
+//! * [`snapshot`] — versioned, checksummed, bit-exact binary snapshots of
+//!   field bodies (all three precisions) for checkpoint/restart.
 
 pub mod blas;
 pub mod field;
 pub mod half;
 pub mod layout;
 pub mod site;
+pub mod snapshot;
 
 pub use field::{CastSite, CastSiteAny, LatticeField};
 pub use half::HalfField;
 pub use layout::FieldLayout;
 pub use site::SiteObject;
+pub use snapshot::{decode_field_into, decode_half, encode_field, encode_half, SnapshotReal};

@@ -1,0 +1,168 @@
+//! Bit-exact gauge-field snapshots for checkpoint/restart.
+//!
+//! The existing [`crate::io`] format (LQCDGF01) is the *archival* format:
+//! gauge configurations exchanged between runs, verified by plaquette.
+//! Checkpoints need something stricter — a restored field must be
+//! bit-identical so a resumed solve walks the same trajectory — so this
+//! module wraps the per-field snapshots of `lqcd-field::snapshot` (one per
+//! direction × parity, each carrying its own CRC-64) in a small framed
+//! container with an outer CRC.
+//!
+//! Only link bodies are stored; ghost zones are rebuilt by
+//! [`GaugeField::exchange_ghosts`] after restore, exactly as after
+//! generation.
+
+use crate::field::GaugeField;
+use lqcd_field::snapshot::{decode_field_into, encode_field, SnapshotReal};
+use lqcd_field::SiteObject;
+use lqcd_lattice::NDIM;
+use lqcd_su3::Su3;
+use lqcd_util::checkpoint::ByteReader;
+use lqcd_util::checksum::crc64;
+use lqcd_util::{Error, Result};
+
+/// Gauge snapshot magic.
+pub const GAUGE_MAGIC: &[u8; 4] = b"LQGS";
+/// Gauge snapshot format version.
+pub const GAUGE_VERSION: u8 = 1;
+
+/// Serialize all eight link fields (4 directions × 2 parities) bit-exactly.
+pub fn snapshot_bytes<R: SnapshotReal>(g: &GaugeField<R>) -> Vec<u8>
+where
+    Su3<R>: SiteObject<R>,
+{
+    let mut out = Vec::new();
+    out.extend_from_slice(GAUGE_MAGIC);
+    out.push(GAUGE_VERSION);
+    out.push((NDIM * 2) as u8);
+    for mu in 0..NDIM {
+        for p in 0..2 {
+            let field = encode_field(&g.links[mu][p]);
+            out.extend_from_slice(&(field.len() as u64).to_le_bytes());
+            out.extend_from_slice(&field);
+        }
+    }
+    out.extend_from_slice(&crc64(&out).to_le_bytes());
+    out
+}
+
+/// Restore a snapshot into an existing gauge field of identical geometry
+/// and precision. Ghost zones are left stale — exchange them before use.
+pub fn restore_into<R: SnapshotReal>(bytes: &[u8], g: &mut GaugeField<R>, what: &str) -> Result<()>
+where
+    Su3<R>: SiteObject<R>,
+{
+    let corrupt = |detail: String| Error::Corrupt { what: what.to_string(), detail };
+    if bytes.len() < 4 + 1 + 1 + 8 {
+        return Err(corrupt(format!("truncated: {} bytes", bytes.len())));
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(trailer.try_into().expect("8-byte split"));
+    if crc64(body) != stored {
+        return Err(corrupt("gauge snapshot crc mismatch".into()));
+    }
+    let mut r = ByteReader::new(body, what);
+    if r.take(4)? != GAUGE_MAGIC {
+        return Err(corrupt("bad gauge-snapshot magic".into()));
+    }
+    let version = r.take(1)?[0];
+    if version != GAUGE_VERSION {
+        return Err(corrupt(format!("unsupported gauge snapshot version {version}")));
+    }
+    let count = r.take(1)?[0] as usize;
+    if count != NDIM * 2 {
+        return Err(corrupt(format!("expected {} link fields, found {count}", NDIM * 2)));
+    }
+    for mu in 0..NDIM {
+        for p in 0..2 {
+            let len = r.take_u64()? as usize;
+            let field = r.take(len)?;
+            decode_field_into(field, &mut g.links[mu][p], what)?;
+        }
+    }
+    if !r.is_empty() {
+        return Err(corrupt(format!("{} trailing bytes after last link field", r.remaining())));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::GaugeStart;
+    use lqcd_lattice::{Dims, FaceGeometry, SubLattice};
+    use lqcd_util::rng::SeedTree;
+    use std::sync::Arc;
+
+    fn hot_field() -> GaugeField<f64> {
+        let global = Dims([4, 4, 4, 4]);
+        let sub = Arc::new(SubLattice::single(global).unwrap());
+        let faces = FaceGeometry::new(&sub, 1).unwrap();
+        GaugeField::generate(sub, &faces, global, &SeedTree::new(9), GaugeStart::Hot)
+    }
+
+    fn bodies_equal<R: SnapshotReal>(a: &GaugeField<R>, b: &GaugeField<R>) -> bool
+    where
+        Su3<R>: SiteObject<R>,
+    {
+        (0..NDIM).all(|mu| {
+            (0..2).all(|p| {
+                a.links[mu][p]
+                    .body()
+                    .iter()
+                    .zip(b.links[mu][p].body())
+                    .all(|(x, y)| x.to_f64().to_bits() == y.to_f64().to_bits())
+            })
+        })
+    }
+
+    #[test]
+    fn gauge_roundtrip_is_bit_exact_in_both_precisions() {
+        let g = hot_field();
+        let bytes = snapshot_bytes(&g);
+        let mut back = GaugeField::zeros(
+            g.sublattice().clone(),
+            &FaceGeometry::new(g.sublattice(), 1).unwrap(),
+            0,
+        );
+        restore_into(&bytes, &mut back, "test").unwrap();
+        assert!(bodies_equal(&g, &back));
+
+        let g32 = g.cast::<f32>();
+        let bytes32 = snapshot_bytes(&g32);
+        let mut back32 = GaugeField::<f32>::zeros(
+            g.sublattice().clone(),
+            &FaceGeometry::new(g.sublattice(), 1).unwrap(),
+            0,
+        );
+        restore_into(&bytes32, &mut back32, "test").unwrap();
+        assert!(bodies_equal(&g32, &back32));
+    }
+
+    #[test]
+    fn corruption_and_truncation_are_typed_errors() {
+        let g = hot_field();
+        let bytes = snapshot_bytes(&g);
+        let fresh = || {
+            GaugeField::<f64>::zeros(
+                g.sublattice().clone(),
+                &FaceGeometry::new(g.sublattice(), 1).unwrap(),
+                0,
+            )
+        };
+        let mut bad = bytes.clone();
+        bad[bytes.len() / 3] ^= 0x40;
+        assert!(matches!(restore_into(&bad, &mut fresh(), "test"), Err(Error::Corrupt { .. })));
+        assert!(matches!(
+            restore_into(&bytes[..bytes.len() / 2], &mut fresh(), "test"),
+            Err(Error::Corrupt { .. })
+        ));
+        // Wrong precision destination is a shape error, not silence.
+        let mut wrong = GaugeField::<f32>::zeros(
+            g.sublattice().clone(),
+            &FaceGeometry::new(g.sublattice(), 1).unwrap(),
+            0,
+        );
+        assert!(matches!(restore_into(&bytes, &mut wrong, "test"), Err(Error::Shape(_))));
+    }
+}

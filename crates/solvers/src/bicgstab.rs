@@ -8,7 +8,7 @@
 //! (§3.2: "the need for periodic global reduction operations").
 
 use crate::space::{SolveStats, SolverSpace};
-use lqcd_util::{Complex, Error, Result};
+use lqcd_util::{BreakdownKind, Complex, Error, Result};
 
 /// Solve `A x = b` by BiCGstab to relative residual `tol` starting from
 /// `x`.
@@ -52,6 +52,7 @@ pub fn bicgstab<S: SolverSpace>(
         if rho.abs() < 1e-300 {
             return Err(Error::Breakdown {
                 solver: "bicgstab",
+                kind: BreakdownKind::ZeroPivot,
                 detail: "ρ = ⟨r̂, r⟩ vanished".into(),
             });
         }
@@ -64,7 +65,9 @@ pub fn bicgstab<S: SolverSpace>(
         let rhat_v = space.dot(&r_hat, &v)?;
         if rhat_v.abs() < 1e-300 {
             return Err(Error::Breakdown {
-                solver: "bicgstab", detail: "⟨r̂, v⟩ vanished".into()
+                solver: "bicgstab",
+                kind: BreakdownKind::ZeroPivot,
+                detail: "⟨r̂, v⟩ vanished".into(),
             });
         }
         alpha = rho / rhat_v;

@@ -1,7 +1,7 @@
 //! Conjugate gradients for Hermitian positive-definite systems.
 
 use crate::space::{SolveStats, SolverSpace};
-use lqcd_util::{Error, Result};
+use lqcd_util::{BreakdownKind, Error, Result};
 
 /// Solve `A x = b` by CG to relative residual `tol`, starting from the
 /// provided `x` (which may be nonzero). Fails with
@@ -42,6 +42,7 @@ pub fn cg<S: SolverSpace>(
         if pap <= 0.0 {
             return Err(Error::Breakdown {
                 solver: "cg",
+                kind: BreakdownKind::ZeroPivot,
                 detail: format!("⟨p, Ap⟩ = {pap} not positive (operator not HPD?)"),
             });
         }

@@ -8,7 +8,7 @@
 //! free: `A† = γ₅ A γ₅` ([`AdjointMatvec`] implementations exploit this).
 
 use crate::space::{SolveStats, SolverSpace};
-use lqcd_util::{Error, Result};
+use lqcd_util::{BreakdownKind, Error, Result};
 
 /// A space whose operator adjoint is available.
 pub trait AdjointMatvec: SolverSpace {
@@ -72,6 +72,7 @@ pub fn cgnr<S: AdjointMatvec>(
         if apap <= 0.0 {
             return Err(Error::Breakdown {
                 solver: "cgnr",
+                kind: BreakdownKind::ZeroPivot,
                 detail: "‖Ap‖² vanished with nonzero residual".into(),
             });
         }

@@ -20,7 +20,8 @@
 
 use crate::mr::mr as mr_steps;
 use crate::space::{DirichletMatvec, SolveStats, SolverSpace};
-use lqcd_util::{Complex, Error, Result};
+use crate::watchdog::{NullMonitor, SolveMonitor};
+use lqcd_util::{BreakdownKind, Complex, Error, Result};
 
 /// Tunables of the GCR solver.
 #[derive(Clone, Copy, Debug)]
@@ -172,6 +173,7 @@ fn check_finite(norm: f64, what: &str) -> Result<()> {
     } else {
         Err(Error::Breakdown {
             solver: "gcr",
+            kind: BreakdownKind::NonFinite,
             detail: format!("{what} norm is not finite ({norm})"),
         })
     }
@@ -185,12 +187,29 @@ pub fn gcr<S: SolverSpace, P: Preconditioner<S>>(
     b: &S::V,
     params: &GcrParams,
 ) -> Result<SolveStats> {
+    gcr_monitored(space, precond, x, b, params, &mut NullMonitor)
+}
+
+/// [`gcr`] with [`SolveMonitor`] hooks threaded through the outer
+/// iteration: `observe` fires once per iteration with the iterated
+/// relative residual (plus once up front with the initial true residual),
+/// `at_restart` fires after every high-precision restart with the solution
+/// freshly updated — the point where a checkpoint is consistent.
+pub fn gcr_monitored<S: SolverSpace, P: Preconditioner<S>, M: SolveMonitor<S>>(
+    space: &mut S,
+    precond: &mut P,
+    x: &mut S::V,
+    b: &S::V,
+    params: &GcrParams,
+    monitor: &mut M,
+) -> Result<SolveStats> {
     let mut stats = SolveStats::new();
     let kmax = params.kmax.max(1);
     let bnorm = space.norm2(b)?.sqrt();
     if !bnorm.is_finite() {
         return Err(Error::Breakdown {
             solver: "gcr",
+            kind: BreakdownKind::NonFinite,
             detail: format!("right-hand-side norm is not finite ({bnorm})"),
         });
     }
@@ -207,6 +226,7 @@ pub fn gcr<S: SolverSpace, P: Preconditioner<S>>(
     space.xpay(b, -1.0, &mut r0);
     let mut r0_norm = space.norm2(&r0)?.sqrt();
     check_finite(r0_norm, "initial residual")?;
+    monitor.observe(0, r0_norm / bnorm)?;
 
     // Krylov storage.
     let mut p: Vec<S::V> = (0..kmax).map(|_| space.alloc()).collect();
@@ -262,12 +282,14 @@ pub fn gcr<S: SolverSpace, P: Preconditioner<S>>(
             // can retry, possibly at higher precision.
             return Err(Error::Breakdown {
                 solver: "gcr",
+                kind: BreakdownKind::NonFinite,
                 detail: format!("Krylov vector norm is not finite ({gk})"),
             });
         }
         if gk < 1e-300 {
             return Err(Error::Breakdown {
                 solver: "gcr",
+                kind: BreakdownKind::ZeroPivot,
                 detail: "Krylov vector vanished after orthogonalization".into(),
             });
         }
@@ -281,6 +303,7 @@ pub fn gcr<S: SolverSpace, P: Preconditioner<S>>(
 
         let rhat_norm = space.norm2(&r_hat)?.sqrt();
         check_finite(rhat_norm, "iterated residual")?;
+        monitor.observe(stats.iterations, rhat_norm / bnorm)?;
         let cycle_drop = rhat_norm / r0_norm;
         if k == kmax || cycle_drop < params.delta || rhat_norm <= params.tol * bnorm {
             // Implicit solution update: back-substitute
@@ -306,6 +329,7 @@ pub fn gcr<S: SolverSpace, P: Preconditioner<S>>(
             space.quantize(&mut r_hat);
             k = 0;
             stats.restarts += 1;
+            monitor.at_restart(space, x, &stats, r0_norm / bnorm)?;
         }
     }
     stats.residual = r0_norm / bnorm;
@@ -465,7 +489,7 @@ mod tests {
         b[3] = Complex::new(f64::NAN, 0.0);
         let mut x = s.alloc();
         match gcr(&mut s, &mut IdentityPrecond, &mut x, &b, &GcrParams::default()) {
-            Err(Error::Breakdown { solver: "gcr", detail }) => {
+            Err(Error::Breakdown { solver: "gcr", detail, .. }) => {
                 assert!(detail.contains("not finite"), "detail: {detail}");
             }
             other => panic!("expected Breakdown, got {other:?}"),
@@ -493,6 +517,70 @@ mod tests {
         assert!(matches!(
             gcr(&mut s, &mut IdentityPrecond, &mut x, &b, &params),
             Err(Error::NoConvergence { solver: "gcr", .. })
+        ));
+    }
+
+    #[test]
+    fn monitor_hooks_fire_with_a_consistent_solution() {
+        // `at_restart` must see the *updated* x: re-deriving the true
+        // residual from (space, x, b) has to reproduce the reported one.
+        struct Probe {
+            observes: usize,
+            restarts: Vec<(f64, f64)>, // (reported, recomputed)
+            b: Vec<Complex<f64>>,
+        }
+        impl SolveMonitor<DenseSpace> for Probe {
+            fn observe(&mut self, _i: usize, rel: f64) -> lqcd_util::Result<()> {
+                assert!(rel.is_finite());
+                self.observes += 1;
+                Ok(())
+            }
+            fn at_restart(
+                &mut self,
+                space: &mut DenseSpace,
+                x: &Vec<Complex<f64>>,
+                stats: &SolveStats,
+                rel: f64,
+            ) -> lqcd_util::Result<()> {
+                assert!(stats.restarts > self.restarts.len());
+                let b = self.b.clone();
+                let recomputed = true_resid(space, x, &b);
+                self.restarts.push((rel, recomputed));
+                Ok(())
+            }
+        }
+        let mut s = DenseSpace::random_general(24, 1);
+        let b = rand_b(24);
+        let mut x = s.alloc();
+        let params = GcrParams { tol: 1e-10, kmax: 8, ..Default::default() };
+        let mut probe = Probe { observes: 0, restarts: Vec::new(), b: b.clone() };
+        let stats =
+            gcr_monitored(&mut s, &mut IdentityPrecond, &mut x, &b, &params, &mut probe).unwrap();
+        assert!(stats.converged);
+        assert_eq!(probe.observes, stats.iterations + 1);
+        assert_eq!(probe.restarts.len(), stats.restarts);
+        for (reported, recomputed) in &probe.restarts {
+            assert!(
+                (reported - recomputed).abs() <= 1e-12 + 1e-6 * reported,
+                "reported {reported}, recomputed {recomputed}"
+            );
+        }
+    }
+
+    #[test]
+    fn watchdog_wall_clock_trip_aborts_the_solve() {
+        use crate::watchdog::{SolveWatchdog, WatchdogConfig};
+        let mut s = DenseSpace::random_general(32, 4);
+        let b = rand_b(32);
+        let mut x = s.alloc();
+        let cfg =
+            WatchdogConfig { wall_clock: Some(std::time::Duration::ZERO), ..Default::default() };
+        let mut dog = SolveWatchdog::new("gcr", cfg);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let params = GcrParams { tol: 1e-12, ..Default::default() };
+        assert!(matches!(
+            gcr_monitored(&mut s, &mut IdentityPrecond, &mut x, &b, &params, &mut dog),
+            Err(Error::Breakdown { kind: BreakdownKind::WallClock, .. })
         ));
     }
 }

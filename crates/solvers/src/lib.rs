@@ -18,7 +18,11 @@
 //!   recurrences;
 //! * [`mixed`] — mixed-precision drivers: double-single defect-correction
 //!   (reliable-update analogue) and the staggered strategy of §8.2
-//!   (single-precision multi-shift followed by sequential refinement).
+//!   (single-precision multi-shift followed by sequential refinement);
+//! * [`watchdog`] — [`SolveMonitor`] hooks through the outer iterations
+//!   ([`gcr_monitored`], [`mixed::defect_correction_monitored`]) and the
+//!   [`SolveWatchdog`] that turns NaN contamination, stagnation,
+//!   divergence, and wall-clock overrun into structured breakdowns.
 //!
 //! All solvers are generic over [`SolverSpace`] — implemented by the
 //! distributed lattice operators in [`spaces`] and by a dense test matrix
@@ -35,12 +39,14 @@ pub mod mr;
 pub mod multishift;
 pub mod space;
 pub mod spaces;
+pub mod watchdog;
 
 pub use bicgstab::bicgstab;
 pub use cg::cg;
 pub use cgnr::{cgnr, AdjointMatvec};
-pub use gcr::{gcr, GcrParams, IdentityPrecond, Preconditioner, SchwarzMR};
+pub use gcr::{gcr, gcr_monitored, GcrParams, IdentityPrecond, Preconditioner, SchwarzMR};
 pub use lanczos::{lanczos_extremes, Spectrum};
 pub use mr::mr;
 pub use multishift::multishift_cg;
 pub use space::{DirichletMatvec, SolveStats, SolverSpace};
+pub use watchdog::{NullMonitor, SolveMonitor, SolveWatchdog, WatchdogConfig};

@@ -17,6 +17,7 @@
 use crate::cg::cg;
 use crate::multishift::{multishift_cg, MultishiftResult};
 use crate::space::{SolveStats, SolverSpace};
+use crate::watchdog::{NullMonitor, SolveMonitor};
 use lqcd_util::{Complex, Error, Result};
 
 /// Moves vectors between a high-precision and a low-precision space.
@@ -57,13 +58,39 @@ pub fn defect_correction<HI, LO, B, F>(
     b: &HI::V,
     tol: f64,
     max_cycles: usize,
-    mut inner: F,
+    inner: F,
 ) -> Result<SolveStats>
 where
     HI: SolverSpace,
     LO: SolverSpace,
     B: Bridge<HI, LO>,
     F: FnMut(&mut LO, &mut LO::V, &LO::V) -> Result<SolveStats>,
+{
+    defect_correction_monitored(hi, lo, bridge, x, b, tol, max_cycles, inner, &mut NullMonitor)
+}
+
+/// [`defect_correction`] with [`SolveMonitor`] hooks: `observe` fires on
+/// every true-residual recomputation (so a watchdog sees the outer
+/// convergence trajectory), `at_restart` after every applied correction —
+/// the mixed-precision ladder's consistent-checkpoint points.
+#[allow(clippy::too_many_arguments)]
+pub fn defect_correction_monitored<HI, LO, B, F, M>(
+    hi: &mut HI,
+    lo: &mut LO,
+    bridge: &B,
+    x: &mut HI::V,
+    b: &HI::V,
+    tol: f64,
+    max_cycles: usize,
+    mut inner: F,
+    monitor: &mut M,
+) -> Result<SolveStats>
+where
+    HI: SolverSpace,
+    LO: SolverSpace,
+    B: Bridge<HI, LO>,
+    F: FnMut(&mut LO, &mut LO::V, &LO::V) -> Result<SolveStats>,
+    M: SolveMonitor<HI>,
 {
     let mut stats = SolveStats::new();
     let bnorm = hi.norm2(b)?.sqrt();
@@ -84,6 +111,7 @@ where
         hi.xpay(b, -1.0, &mut r);
         let rnorm = hi.norm2(&r)?.sqrt();
         stats.residual = rnorm / bnorm;
+        monitor.observe(stats.restarts, stats.residual)?;
         if stats.residual <= tol {
             stats.converged = true;
             return Ok(stats);
@@ -96,6 +124,7 @@ where
         stats.restarts += 1;
         bridge.up(&e_lo, &mut e_hi);
         hi.axpy(1.0, &e_hi, x);
+        monitor.at_restart(hi, x, &stats, stats.residual)?;
     }
     // Final check.
     hi.matvec(&mut r, x)?;

@@ -12,7 +12,7 @@
 //! bandwidth-heavy; and all `N` solution + direction vectors stay live.
 
 use crate::space::{SolveStats, SolverSpace};
-use lqcd_util::{Error, Result};
+use lqcd_util::{BreakdownKind, Error, Result};
 
 /// Result of a multi-shift solve.
 pub struct MultishiftResult<V> {
@@ -101,6 +101,7 @@ pub fn multishift_cg<S: SolverSpace>(
         if pap <= 0.0 {
             return Err(Error::Breakdown {
                 solver: "multishift_cg",
+                kind: BreakdownKind::ZeroPivot,
                 detail: format!("⟨p, (A+σ₀)p⟩ = {pap} not positive"),
             });
         }
@@ -123,6 +124,7 @@ pub fn multishift_cg<S: SolverSpace>(
             if denom.abs() < 1e-300 {
                 return Err(Error::Breakdown {
                     solver: "multishift_cg",
+                    kind: BreakdownKind::ZeroPivot,
                     detail: format!("ζ recurrence denominator vanished for shift {i}"),
                 });
             }

@@ -26,6 +26,14 @@ pub struct SolveStats {
     /// Injected faults the communication world absorbed during the
     /// solve (nonzero only in chaos tests).
     pub faults_survived: u64,
+    /// Checkpoints a checkpointing monitor wrote during the solve.
+    pub checkpoints_written: usize,
+    /// True when the solve started from a restored checkpoint instead of
+    /// a zero guess.
+    pub resumed_from_checkpoint: bool,
+    /// Supervised world teardown/rebuild cycles that preceded this
+    /// result (0 for an undisturbed solve).
+    pub supervisor_restarts: usize,
 }
 
 impl SolveStats {
@@ -41,6 +49,9 @@ impl SolveStats {
             precision_fallbacks: 0,
             exchange_retries: 0,
             faults_survived: 0,
+            checkpoints_written: 0,
+            resumed_from_checkpoint: false,
+            supervisor_restarts: 0,
         }
     }
 
@@ -52,6 +63,9 @@ impl SolveStats {
         self.precision_fallbacks += inner.precision_fallbacks;
         self.exchange_retries += inner.exchange_retries;
         self.faults_survived += inner.faults_survived;
+        self.checkpoints_written += inner.checkpoints_written;
+        self.resumed_from_checkpoint |= inner.resumed_from_checkpoint;
+        self.supervisor_restarts += inner.supervisor_restarts;
     }
 }
 

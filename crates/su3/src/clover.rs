@@ -14,7 +14,7 @@
 
 use crate::spinor::WilsonSpinor;
 use crate::vector::ColorVector;
-use lqcd_util::{Complex, Error, Real, Result};
+use lqcd_util::{BreakdownKind, Complex, Error, Real, Result};
 use rand::Rng;
 
 /// Number of rows/cols of one chiral block (2 spins × 3 colors).
@@ -170,14 +170,17 @@ pub fn invert6<R: Real>(
         if best.to_f64() < 1e-300 {
             return Err(Error::Breakdown {
                 solver: "invert6",
+                kind: BreakdownKind::ZeroPivot,
                 detail: format!("singular matrix at column {col}"),
             });
         }
         m.swap(col, pivot_row);
         inv.swap(col, pivot_row);
-        let p = m[col][col]
-            .inv()
-            .ok_or_else(|| Error::Breakdown { solver: "invert6", detail: "zero pivot".into() })?;
+        let p = m[col][col].inv().ok_or_else(|| Error::Breakdown {
+            solver: "invert6",
+            kind: BreakdownKind::ZeroPivot,
+            detail: "zero pivot".into(),
+        })?;
         for j in 0..BLOCK_DIM {
             m[col][j] *= p;
             inv[col][j] *= p;

@@ -5,6 +5,42 @@ use std::fmt;
 /// Workspace-wide result alias.
 pub type Result<T> = std::result::Result<T, Error>;
 
+/// What kind of numerical breakdown a solver hit.
+///
+/// Solvers historically reported breakdowns as free-form strings; the
+/// watchdog and supervisor need to branch on the *class* of failure
+/// (a stagnating solve wants a precision bump, a wall-clock overrun
+/// wants a checkpointed restart), so the class is now structured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakdownKind {
+    /// A pivot / inner product collapsed to (numerical) zero.
+    ZeroPivot,
+    /// NaN or Inf contaminated the iteration state.
+    NonFinite,
+    /// The residual stopped improving for a configured window.
+    Stagnation,
+    /// The residual grew far beyond its best value.
+    Divergence,
+    /// The solve exceeded its wall-clock budget.
+    WallClock,
+    /// Anything else (legacy free-form breakdowns).
+    Other,
+}
+
+impl fmt::Display for BreakdownKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BreakdownKind::ZeroPivot => "zero pivot",
+            BreakdownKind::NonFinite => "non-finite",
+            BreakdownKind::Stagnation => "stagnation",
+            BreakdownKind::Divergence => "divergence",
+            BreakdownKind::WallClock => "wall-clock overrun",
+            BreakdownKind::Other => "breakdown",
+        };
+        f.write_str(s)
+    }
+}
+
 /// Errors surfaced by lattice construction, communication, and solvers.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Error {
@@ -24,10 +60,13 @@ pub enum Error {
         /// Target relative residual.
         target: f64,
     },
-    /// A solver hit a numerical breakdown (zero pivot / division by ~0).
+    /// A solver hit a numerical breakdown (zero pivot, NaN contamination,
+    /// stagnation, divergence, or wall-clock overrun).
     Breakdown {
         /// Name of the solver that broke down.
         solver: &'static str,
+        /// Structured class of the breakdown.
+        kind: BreakdownKind,
         /// Description of the breakdown.
         detail: String,
     },
@@ -60,6 +99,24 @@ pub enum Error {
     },
     /// Experiment/bench configuration error.
     Config(String),
+    /// A checkpoint / snapshot I/O operation failed. The `std::io::Error`
+    /// is flattened to a string because [`Error`] must stay `Clone +
+    /// PartialEq` for the chaos harness's per-rank comparisons.
+    Io {
+        /// Path involved in the failed operation.
+        path: String,
+        /// Stringified OS-level error.
+        detail: String,
+    },
+    /// A checkpoint / snapshot failed validation: bad magic, unsupported
+    /// version, checksum mismatch, or truncation. Never a panic — corrupt
+    /// data on disk is an expected failure mode after a crash.
+    Corrupt {
+        /// What was being decoded (file path or container/section name).
+        what: String,
+        /// Why validation failed.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -71,8 +128,8 @@ impl fmt::Display for Error {
                 f,
                 "{solver} did not converge: |r|/|b| = {residual:.3e} after {iterations} iterations (target {target:.3e})"
             ),
-            Error::Breakdown { solver, detail } => {
-                write!(f, "{solver} numerical breakdown: {detail}")
+            Error::Breakdown { solver, kind, detail } => {
+                write!(f, "{solver} numerical breakdown ({kind}): {detail}")
             }
             Error::Comms(msg) => write!(f, "communication error: {msg}"),
             Error::Timeout { rank, peer, mu, tag, waited } => {
@@ -93,6 +150,8 @@ impl fmt::Display for Error {
                 write!(f, "rank {rank} failed: {detail}")
             }
             Error::Config(msg) => write!(f, "configuration error: {msg}"),
+            Error::Io { path, detail } => write!(f, "i/o error on {path}: {detail}"),
+            Error::Corrupt { what, detail } => write!(f, "corrupt data in {what}: {detail}"),
         }
     }
 }
@@ -141,5 +200,27 @@ mod tests {
     fn errors_are_comparable() {
         assert_eq!(Error::Geometry("x".into()), Error::Geometry("x".into()));
         assert_ne!(Error::Geometry("x".into()), Error::Shape("x".into()));
+    }
+
+    #[test]
+    fn breakdown_kind_is_displayed_and_matchable() {
+        let e = Error::Breakdown {
+            solver: "gcr",
+            kind: BreakdownKind::Stagnation,
+            detail: "no progress in 200 iterations".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("gcr"));
+        assert!(msg.contains("stagnation"));
+        assert!(matches!(e, Error::Breakdown { kind: BreakdownKind::Stagnation, .. }));
+        assert_ne!(BreakdownKind::NonFinite, BreakdownKind::WallClock);
+    }
+
+    #[test]
+    fn checkpoint_errors_format() {
+        let io = Error::Io { path: "/tmp/ckpt".into(), detail: "permission denied".into() };
+        assert!(io.to_string().contains("/tmp/ckpt"));
+        let c = Error::Corrupt { what: "ckpt-000001.lqcp".into(), detail: "crc mismatch".into() };
+        assert!(c.to_string().contains("crc mismatch"));
     }
 }

@@ -15,6 +15,8 @@
 //!   configurations and sources are reproducible across runs.
 //! * [`Error`] — the shared error type.
 
+pub mod checkpoint;
+pub mod checksum;
 pub mod complex;
 pub mod error;
 pub mod half;
@@ -22,8 +24,10 @@ pub mod real;
 pub mod rng;
 pub mod stats;
 
+pub use checkpoint::{ByteReader, Checkpoint, CheckpointStore};
+pub use checksum::{crc64, Crc64};
 pub use complex::Complex;
-pub use error::{Error, Result};
+pub use error::{BreakdownKind, Error, Result};
 pub use half::Fixed16;
 pub use real::Real;
 

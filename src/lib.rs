@@ -44,7 +44,8 @@ pub mod prelude {
     };
     pub use lqcd_core::{
         run_staggered_multishift, run_wilson_bicgstab, run_wilson_gcr_dd,
-        run_wilson_gcr_dd_resilient, PrecisionRung, StaggeredProblem, WilsonProblem,
+        run_wilson_gcr_dd_resilient, run_wilson_gcr_dd_supervised, PrecisionRung, StaggeredProblem,
+        SupervisedOutcome, SupervisorConfig, WilsonProblem,
     };
     pub use lqcd_dirac::{BoundaryMode, StaggeredOp, WilsonCloverOp};
     pub use lqcd_gauge::{average_plaquette, AsqtadLinks, GaugeField};
