@@ -396,6 +396,25 @@ impl<C: Communicator> Communicator for FaultyComm<C> {
         self.before_op();
         self.inner.send_recv(mu, forward, send, recv)
     }
+    fn start_send_recv(
+        &mut self,
+        mu: usize,
+        forward: bool,
+        send: &[f64],
+    ) -> Result<crate::comm::ExchangeHandle> {
+        // Rank-level faults fire once per exchange, when it is posted;
+        // completion is plain delegation so a single exchange cannot be
+        // double-injected relative to the blocking path.
+        self.before_op();
+        self.inner.start_send_recv(mu, forward, send)
+    }
+    fn complete_send_recv(
+        &mut self,
+        handle: crate::comm::ExchangeHandle,
+        recv: &mut [f64],
+    ) -> Result<()> {
+        self.inner.complete_send_recv(handle, recv)
+    }
     fn allreduce_sum(&mut self, vals: &mut [f64]) -> Result<()> {
         self.before_op();
         self.inner.allreduce_sum(vals)

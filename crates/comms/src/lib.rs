@@ -38,7 +38,7 @@ pub mod faulty;
 pub mod single;
 pub mod threaded;
 
-pub use comm::{Communicator, SharedComm};
+pub use comm::{Communicator, ExchangeHandle, SharedComm};
 pub use faulty::{FaultKind, FaultPlan, FaultRule, FaultyComm, MsgClass};
 pub use single::SingleComm;
 pub use threaded::{

@@ -48,7 +48,8 @@ pub fn run_wilson_bicgstab(
         let mut space = EoWilsonSpace::new(op, comm)?;
         let b = p.rhs(&space.op);
         let mut x = space.alloc();
-        let stats = bicgstab(&mut space, &mut x, &b, p.tol, p.maxiter)?;
+        let mut stats = bicgstab(&mut space, &mut x, &b, p.tol, p.maxiter)?;
+        record_dslash(&mut stats, space.op.dslash_counters());
         let n2 = space.norm2(&x)?;
         Ok(WilsonSolveOutcome {
             stats,
@@ -81,7 +82,8 @@ pub fn run_wilson_gcr_dd(
             let mut precond = SchwarzMR::new(p.mr_steps).quantized();
             let mut params = p.gcr;
             params.quantize_krylov = true;
-            let stats = gcr(&mut space, &mut precond, &mut x, &b, &params)?;
+            let mut stats = gcr(&mut space, &mut precond, &mut x, &b, &params)?;
+            record_dslash(&mut stats, space.op.dslash_counters());
             let n2 = space.norm2(&x)?;
             Ok(WilsonSolveOutcome {
                 stats,
@@ -94,7 +96,8 @@ pub fn run_wilson_gcr_dd(
             let b = p.rhs(&space.op);
             let mut x = space.alloc();
             let mut precond = SchwarzMR::new(p.mr_steps);
-            let stats = gcr(&mut space, &mut precond, &mut x, &b, &p.gcr)?;
+            let mut stats = gcr(&mut space, &mut precond, &mut x, &b, &p.gcr)?;
+            record_dslash(&mut stats, space.op.dslash_counters());
             let n2 = space.norm2(&x)?;
             Ok(WilsonSolveOutcome {
                 stats,
@@ -130,6 +133,16 @@ impl PrecisionRung {
     }
 }
 
+/// Copy the operator pipeline's cumulative dslash timing counters into a
+/// solve's stats record (overwrites: the operator's counters already
+/// aggregate every apply of the solve).
+pub(crate) fn record_dslash(stats: &mut SolveStats, d: lqcd_dirac::DslashCounters) {
+    stats.dslash_applies = d.applies;
+    stats.dslash_total_ns = d.total_ns;
+    stats.dslash_interior_ns = d.interior_ns;
+    stats.dslash_exposed_comm_ns = d.exposed_comm_ns;
+}
+
 /// Errors worth retrying at a higher precision: numerical breakdowns
 /// (NaN from corruption, quantization overflow) and convergence stalls.
 /// Communication failures (timeout, dead rank) are not — more precision
@@ -157,7 +170,9 @@ fn gcr_dd_attempt<C: Communicator>(
             // stagnating attempt becomes a structured breakdown the
             // ladder can escalate instead of a burned iteration budget.
             let mut dog = SolveWatchdog::new("gcr-dd", p.watchdog);
-            let stats = gcr_monitored(&mut space, &mut $precond, &mut x, &b, &$params, &mut dog)?;
+            let mut stats =
+                gcr_monitored(&mut space, &mut $precond, &mut x, &b, &$params, &mut dog)?;
+            record_dslash(&mut stats, space.op.dslash_counters());
             let n2 = space.norm2(&x)?;
             Ok(WilsonSolveOutcome {
                 stats,
@@ -285,7 +300,8 @@ pub fn run_staggered_multishift(
         let op = p.build_operator(&g, rank)?;
         let mut space = StaggeredNormalSpace::new(op, comm);
         let b = p.rhs(&space.op);
-        let ms = multishift_cg(&mut space, &p.shifts, &b, p.tol, p.maxiter)?;
+        let mut ms = multishift_cg(&mut space, &p.shifts, &b, p.tol, p.maxiter)?;
+        record_dslash(&mut ms.stats, space.op.dslash_counters());
         let mut norms = Vec::with_capacity(ms.solutions.len());
         for s in &ms.solutions {
             norms.push(space.norm2(s)?);

@@ -397,7 +397,8 @@ fn supervised_attempt<C: Communicator>(
                 gcr_monitored(&mut space, &mut precond, &mut x, &b, &$params, &mut monitor);
             *next_generation = monitor.next_generation();
             *written += monitor.written();
-            let stats = result?;
+            let mut stats = result?;
+            crate::drivers::record_dslash(&mut stats, space.op.dslash_counters());
             let n2 = space.norm2(&x)?;
             Ok(WilsonSolveOutcome {
                 stats,

@@ -20,10 +20,12 @@
 //! pin distributed-equals-serial for every partitioning scheme.
 
 pub mod exchange;
+pub mod overlap;
 pub mod reference;
 pub mod staggered;
 pub mod wilson;
 
+pub use overlap::DslashCounters;
 pub use staggered::{StaggeredOp, STAGGERED_DEPTH};
 pub use wilson::{WilsonCloverOp, WILSON_DEPTH};
 

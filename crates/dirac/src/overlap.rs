@@ -1,0 +1,175 @@
+//! Overlap pipeline state: per-operator exchange buffers, interior
+//! worker configuration, and per-apply timing counters.
+//!
+//! The stages (paper Fig. 4) are orchestrated by the operators'
+//! `dslash`; this module holds what persists between applies. Everything
+//! lives behind one `Mutex` per operator so `dslash` can stay `&self`
+//! (operators are shared across solver layers) while buffers and
+//! counters mutate.
+
+use crate::exchange::ExchangeBuffers;
+use lqcd_field::{LatticeField, SiteObject};
+use lqcd_lattice::{FaceGeometry, SubLattice, NDIM};
+use lqcd_util::{Error, Real, Result};
+use std::time::Instant;
+
+/// Cumulative timing of dslash applies, nanosecond resolution.
+///
+/// `exposed_comm_ns` is the time communication completion kept the
+/// calling thread waiting *beyond* the interior kernel — the quantity
+/// the paper's pipeline drives toward zero. `overlap_efficiency` is
+/// `1 − exposed/total`: 1.0 means communication fully hidden.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DslashCounters {
+    /// Number of dslash applications.
+    pub applies: u64,
+    /// Wall time of the applies, end to end.
+    pub total_ns: u64,
+    /// Face gather + nonblocking posts.
+    pub gather_ns: u64,
+    /// Interior kernel (max over workers when parallel).
+    pub interior_ns: u64,
+    /// Exterior (boundary) kernels.
+    pub exterior_ns: u64,
+    /// Communication time not hidden behind the interior kernel.
+    pub exposed_comm_ns: u64,
+}
+
+impl DslashCounters {
+    /// Fraction of wall time *not* lost to exposed communication, or
+    /// `None` before any apply.
+    pub fn overlap_efficiency(&self) -> Option<f64> {
+        (self.total_ns > 0).then(|| 1.0 - self.exposed_comm_ns as f64 / self.total_ns as f64)
+    }
+
+    /// Merge another counter set into this one.
+    pub fn absorb(&mut self, other: &DslashCounters) {
+        self.applies += other.applies;
+        self.total_ns += other.total_ns;
+        self.gather_ns += other.gather_ns;
+        self.interior_ns += other.interior_ns;
+        self.exterior_ns += other.exterior_ns;
+        self.exposed_comm_ns += other.exposed_comm_ns;
+    }
+}
+
+/// Mutable per-operator overlap state (exchange buffers, counters,
+/// interior thread count), kept behind a `Mutex` on the operator.
+pub struct OverlapPipeline<R: Real> {
+    /// Persistent exchange staging buffers.
+    pub bufs: ExchangeBuffers<R>,
+    /// Cumulative apply timings.
+    pub counters: DslashCounters,
+    /// Interior kernel workers; 1 = run on the calling thread (still
+    /// overlapped: completion happens after the interior).
+    pub threads: usize,
+}
+
+impl<R: Real> OverlapPipeline<R> {
+    /// Fresh state with `threads` interior workers.
+    pub fn with_threads(threads: usize) -> Self {
+        OverlapPipeline {
+            bufs: ExchangeBuffers::default(),
+            counters: DslashCounters::default(),
+            threads: threads.max(1),
+        }
+    }
+}
+
+impl<R: Real> Default for OverlapPipeline<R> {
+    fn default() -> Self {
+        Self::with_threads(1)
+    }
+}
+
+/// Run `kernel` over disjoint site-range chunks of `body` while
+/// `complete` (the communication-completion stage) runs on the calling
+/// thread. Returns `(interior_ns, wall_ns)` where `interior_ns` is the
+/// kernel time (max over workers) and `wall_ns` covers the whole stage —
+/// their difference is the *exposed* communication time.
+///
+/// With `threads == 1` the kernel runs inline and `complete` after it:
+/// no spawn overhead, and communication posted before this call still
+/// overlaps the kernel. Chunking never changes results — each site's
+/// value is computed independently by the same code path, so output is
+/// bit-identical for every thread count.
+pub fn run_overlapped<R, K, F>(
+    threads: usize,
+    body: &mut [R],
+    reals_per_site: usize,
+    kernel: &K,
+    complete: F,
+) -> Result<(u64, u64)>
+where
+    R: Real,
+    K: Fn(&mut [R], usize) + Sync,
+    F: FnOnce() -> Result<()>,
+{
+    let wall = Instant::now();
+    if threads <= 1 || body.is_empty() {
+        let t = Instant::now();
+        kernel(body, 0);
+        let interior_ns = t.elapsed().as_nanos() as u64;
+        complete()?;
+        return Ok((interior_ns, wall.elapsed().as_nanos() as u64));
+    }
+    let n_sites = body.len() / reals_per_site;
+    let chunk_sites = n_sites.div_ceil(threads).max(1);
+    let interior_ns = std::thread::scope(|s| -> Result<u64> {
+        let workers: Vec<_> = body
+            .chunks_mut(chunk_sites * reals_per_site)
+            .enumerate()
+            .map(|(k, chunk)| {
+                s.spawn(move || {
+                    let t = Instant::now();
+                    kernel(chunk, k * chunk_sites);
+                    t.elapsed().as_nanos() as u64
+                })
+            })
+            .collect();
+        complete()?;
+        let mut max_ns = 0u64;
+        for w in workers {
+            max_ns = max_ns.max(w.join().unwrap_or_else(|p| std::panic::resume_unwind(p)));
+        }
+        Ok(max_ns)
+    })?;
+    Ok((interior_ns, wall.elapsed().as_nanos() as u64))
+}
+
+/// Validate that `field` was allocated against the operator's subvolume
+/// and face geometry, so a depth/pad mismatch surfaces as a structured
+/// [`Error::Shape`] instead of an index panic deep inside a gather.
+pub fn check_field_geometry<R: Real, S: SiteObject<R>>(
+    name: &str,
+    field: &LatticeField<R, S>,
+    sub: &SubLattice,
+    faces: &FaceGeometry,
+) -> Result<()> {
+    if field.sublattice().dims != sub.dims {
+        return Err(Error::Shape(format!(
+            "dslash {name}: field subvolume {:?} does not match the operator's {:?}",
+            field.sublattice().dims,
+            sub.dims
+        )));
+    }
+    let layout = field.layout();
+    if layout.body_sites != sub.volume_cb() {
+        return Err(Error::Shape(format!(
+            "dslash {name}: field has {} body sites, operator subvolume has {}",
+            layout.body_sites,
+            sub.volume_cb()
+        )));
+    }
+    for mu in 0..NDIM {
+        let want = if sub.partitioned[mu] { faces.ghost_sites(mu) } else { 0 };
+        if layout.ghost_sites[mu] != want {
+            return Err(Error::Shape(format!(
+                "dslash {name}: ghost zone of dimension {mu} holds {} sites, the \
+                 operator's face geometry needs {want} (stencil depth mismatch?)",
+                layout.ghost_sites[mu]
+            )));
+        }
+    }
+    Ok(())
+}

@@ -16,15 +16,17 @@
 //! scale so poorly for asqtad (§5, end) and multi-dimensional partitioning
 //! essential.
 
-use crate::exchange::exchange_ghosts;
+use crate::exchange::{complete_ghost_dim, exchange_ghosts_with, post_ghost_sends};
+use crate::overlap::{check_field_geometry, run_overlapped, DslashCounters, OverlapPipeline};
 use crate::BoundaryMode;
 use lqcd_comms::Communicator;
-use lqcd_field::{blas, LatticeField};
+use lqcd_field::{blas, BodyView, LatticeField, SiteObject};
 use lqcd_gauge::GaugeField;
 use lqcd_lattice::{FaceGeometry, Neighbor, Parity, SubLattice, NDIM};
 use lqcd_su3::ColorVector;
 use lqcd_util::{Error, Real, Result};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Ghost-zone depth of the asqtad stencil (the 3-hop Naik term).
 pub const STAGGERED_DEPTH: usize = 3;
@@ -33,7 +35,6 @@ pub const STAGGERED_DEPTH: usize = 3;
 pub type StaggeredField<R> = LatticeField<R, ColorVector<R>>;
 
 /// The asqtad operator bound to one rank's fat+long link fields.
-#[derive(Clone)]
 pub struct StaggeredOp<R: Real> {
     /// Fat links with depth-3 backward ghosts.
     pub fat: GaugeField<R>,
@@ -43,6 +44,22 @@ pub struct StaggeredOp<R: Real> {
     pub mass: f64,
     sub: Arc<SubLattice>,
     faces: FaceGeometry,
+    /// Exchange buffers, apply counters, interior thread count.
+    overlap: Mutex<OverlapPipeline<R>>,
+}
+
+impl<R: Real> Clone for StaggeredOp<R> {
+    fn clone(&self) -> Self {
+        let threads = self.interior_threads();
+        StaggeredOp {
+            fat: self.fat.clone(),
+            long: self.long.clone(),
+            mass: self.mass,
+            sub: self.sub.clone(),
+            faces: self.faces.clone(),
+            overlap: Mutex::new(OverlapPipeline::with_threads(threads)),
+        }
+    }
 }
 
 impl<R: Real> StaggeredOp<R> {
@@ -58,7 +75,28 @@ impl<R: Real> StaggeredOp<R> {
             ));
         }
         let faces = FaceGeometry::new(&sub, STAGGERED_DEPTH)?;
-        Ok(Self { fat, long, mass, sub, faces })
+        Ok(Self { fat, long, mass, sub, faces, overlap: Mutex::new(OverlapPipeline::default()) })
+    }
+
+    /// Set the number of interior-kernel worker threads (min 1). Results
+    /// are bit-identical for every value; this only changes scheduling.
+    pub fn set_interior_threads(&self, n: usize) {
+        self.overlap.lock().unwrap().threads = n.max(1);
+    }
+
+    /// Current interior-kernel worker count.
+    pub fn interior_threads(&self) -> usize {
+        self.overlap.lock().unwrap().threads
+    }
+
+    /// Snapshot of the cumulative per-apply timing counters.
+    pub fn dslash_counters(&self) -> DslashCounters {
+        self.overlap.lock().unwrap().counters
+    }
+
+    /// Zero the cumulative timing counters.
+    pub fn reset_dslash_counters(&self) {
+        self.overlap.lock().unwrap().counters = DslashCounters::default();
     }
 
     /// The subvolume the operator acts on.
@@ -90,9 +128,11 @@ impl<R: Real> StaggeredOp<R> {
         }
     }
 
-    /// One signed hop contribution.
+    /// One signed boundary hop of dimension `dim`: crosses the rank cut
+    /// into a ghost zone, or returns `None` (interior hops belong to
+    /// [`StaggeredOp::hop_interior`]).
     #[inline(always)]
-    fn hop(
+    fn hop_ghost(
         &self,
         links: &GaugeField<R>,
         src: &StaggeredField<R>,
@@ -100,25 +140,12 @@ impl<R: Real> StaggeredOp<R> {
         idx: usize,
         mu: usize,
         step: isize,
-        interior_only: bool,
-        exterior_of: Option<usize>,
+        dim: usize,
     ) -> Option<ColorVector<R>> {
         let out_parity = src.parity().other();
         let hop = self.sub.neighbor(c, mu, step, STAGGERED_DEPTH);
-        match (hop, exterior_of) {
-            (Neighbor::Interior { idx: nidx }, None) => {
-                let v = src.site(nidx);
-                Some(if step > 0 {
-                    links.link(mu, out_parity, idx).mul_vec(&v)
-                } else {
-                    // Link at the displaced site x + step·µ̂ (parity: step
-                    // is odd, so the source parity).
-                    links.link(mu, src.parity(), nidx).adj_mul_vec(&v).scale(-R::ONE)
-                })
-            }
-            (g @ Neighbor::Ghost { mu: gmu, forward, offset }, Some(dim))
-                if gmu == dim && !interior_only =>
-            {
+        match hop {
+            g @ Neighbor::Ghost { mu: gmu, forward, offset } if gmu == dim => {
                 let v = src.ghost(gmu, forward, offset);
                 Some(if step > 0 {
                     links.link(mu, out_parity, idx).mul_vec(&v)
@@ -130,7 +157,24 @@ impl<R: Real> StaggeredOp<R> {
         }
     }
 
-    /// The raw anti-Hermitian stencil `out = D src`.
+    /// Geometry validation for a dslash apply: parity pairing plus
+    /// allocation shape of both fields against the operator's subvolume
+    /// and face geometry (structured [`Error::Shape`], never a panic).
+    fn check_geometry(&self, out: &StaggeredField<R>, src: &StaggeredField<R>) -> Result<()> {
+        if out.parity() != src.parity().other() {
+            return Err(Error::Shape("dslash: out must have opposite parity to src".into()));
+        }
+        check_field_geometry("out", out, &self.sub, &self.faces)?;
+        check_field_geometry("src", src, &self.sub, &self.faces)
+    }
+
+    /// The raw anti-Hermitian stencil `out = D src`, pipelined as in the
+    /// paper's Fig. 4: face gathers are packed and posted as nonblocking
+    /// exchanges, the interior kernel runs while they are in flight
+    /// (optionally on worker threads), each dimension's ghosts complete
+    /// as they land, and the exterior kernels run last. Output is
+    /// bit-identical to [`StaggeredOp::dslash_sequential`] for every
+    /// thread count.
     pub fn dslash<C: Communicator>(
         &self,
         out: &mut StaggeredField<R>,
@@ -138,11 +182,79 @@ impl<R: Real> StaggeredOp<R> {
         comm: &mut C,
         mode: BoundaryMode,
     ) -> Result<()> {
-        if out.parity() != src.parity().other() {
-            return Err(Error::Shape("dslash: out must have opposite parity to src".into()));
+        self.check_geometry(out, src)?;
+        let apply_t = Instant::now();
+        let mut guard = self.overlap.lock().unwrap();
+        let OverlapPipeline { bufs, counters, threads } = &mut *guard;
+        let exchange = mode == BoundaryMode::Full;
+
+        let gather_t = Instant::now();
+        let mut pending = if exchange {
+            post_ghost_sends(src, &self.faces, comm, bufs)?
+        } else {
+            Default::default()
+        };
+        let gather_ns = gather_t.elapsed().as_nanos() as u64;
+
+        // The block scopes the split borrow of `src` (body view + ghost
+        // zones) so the exterior kernels can reborrow it whole below.
+        let out_parity = out.parity();
+        let src_parity = src.parity();
+        let (interior_ns, wall_ns) = {
+            let (src_view, mut zones) = src.body_and_ghosts_mut();
+            let kernel = |chunk: &mut [R], lo_site: usize| {
+                self.interior_range(chunk, lo_site, src_view, out_parity, src_parity);
+            };
+            run_overlapped(
+                *threads,
+                out.body_mut(),
+                <ColorVector<R> as SiteObject<R>>::REALS,
+                &kernel,
+                || {
+                    if exchange {
+                        for mu in 0..NDIM {
+                            if self.sub.partitioned[mu] {
+                                complete_ghost_dim(&mut pending, mu, &mut zones, comm, bufs)?;
+                            }
+                        }
+                    }
+                    Ok(())
+                },
+            )?
+        };
+
+        let ext_t = Instant::now();
+        if exchange {
+            for mu in 0..NDIM {
+                if self.sub.partitioned[mu] {
+                    self.dslash_exterior(out, src, mu);
+                }
+            }
         }
+        counters.applies += 1;
+        counters.gather_ns += gather_ns;
+        counters.interior_ns += interior_ns;
+        counters.exterior_ns += ext_t.elapsed().as_nanos() as u64;
+        counters.exposed_comm_ns += wall_ns.saturating_sub(interior_ns);
+        counters.total_ns += apply_t.elapsed().as_nanos() as u64;
+        Ok(())
+    }
+
+    /// The same stencil with blocking communication: exchange every
+    /// ghost zone up front, then interior, then exteriors. Kept as the
+    /// baseline the overlapped path is measured (and bit-compared)
+    /// against.
+    pub fn dslash_sequential<C: Communicator>(
+        &self,
+        out: &mut StaggeredField<R>,
+        src: &mut StaggeredField<R>,
+        comm: &mut C,
+        mode: BoundaryMode,
+    ) -> Result<()> {
+        self.check_geometry(out, src)?;
         if mode == BoundaryMode::Full {
-            exchange_ghosts(src, &self.faces, comm)?;
+            let bufs = &mut self.overlap.lock().unwrap().bufs;
+            exchange_ghosts_with(src, &self.faces, comm, bufs)?;
         }
         self.dslash_interior(out, src);
         if mode == BoundaryMode::Full {
@@ -155,22 +267,72 @@ impl<R: Real> StaggeredOp<R> {
         Ok(())
     }
 
+    /// One signed interior hop against a body-only view (ghost hops
+    /// return `None`; the exterior kernels pick them up).
+    #[inline(always)]
+    fn hop_interior(
+        &self,
+        links: &GaugeField<R>,
+        src: BodyView<'_, R, ColorVector<R>>,
+        c: [usize; NDIM],
+        idx: usize,
+        mu: usize,
+        step: isize,
+        out_parity: Parity,
+        src_parity: Parity,
+    ) -> Option<ColorVector<R>> {
+        if let Neighbor::Interior { idx: nidx } = self.sub.neighbor(c, mu, step, STAGGERED_DEPTH) {
+            let v = src.site(nidx);
+            Some(if step > 0 {
+                links.link(mu, out_parity, idx).mul_vec(&v)
+            } else {
+                // Link at the displaced site x + step·µ̂ (parity: step
+                // is odd, so the source parity).
+                links.link(mu, src_parity, nidx).adj_mul_vec(&v).scale(-R::ONE)
+            })
+        } else {
+            None
+        }
+    }
+
     /// Interior kernel (all non-ghost hops).
     fn dslash_interior(&self, out: &mut StaggeredField<R>, src: &StaggeredField<R>) {
         let out_parity = out.parity();
-        for (idx, c) in self.sub.sites(out_parity) {
+        let src_parity = src.parity();
+        let view = src.body_view();
+        self.interior_range(out.body_mut(), 0, view, out_parity, src_parity);
+    }
+
+    /// Interior kernel over a contiguous site range: `out_chunk` holds
+    /// the flat reals of sites `lo_site ..`, each computed independently
+    /// (this is what makes chunked parallel execution bit-identical to
+    /// the single pass).
+    fn interior_range(
+        &self,
+        out_chunk: &mut [R],
+        lo_site: usize,
+        src: BodyView<'_, R, ColorVector<R>>,
+        out_parity: Parity,
+        src_parity: Parity,
+    ) {
+        let reals = <ColorVector<R> as SiteObject<R>>::REALS;
+        for (k, slot) in out_chunk.chunks_exact_mut(reals).enumerate() {
+            let idx = lo_site + k;
+            let c = self.sub.cb_coords(out_parity, idx);
             let mut acc = ColorVector::zero();
             for mu in 0..NDIM {
                 let eta = self.eta(c, mu);
                 for (links, dist) in [(&self.fat, 1isize), (&self.long, 3)] {
                     for step in [dist, -dist] {
-                        if let Some(v) = self.hop(links, src, c, idx, mu, step, true, None) {
+                        if let Some(v) =
+                            self.hop_interior(links, src, c, idx, mu, step, out_parity, src_parity)
+                        {
                             acc = acc.add(&v.scale(eta));
                         }
                     }
                 }
             }
-            out.set_site(idx, acc);
+            acc.write(slot);
         }
     }
 
@@ -187,7 +349,7 @@ impl<R: Real> StaggeredOp<R> {
             let mut touched = false;
             for (links, dist) in [(&self.fat, 1isize), (&self.long, 3)] {
                 for step in [dist, -dist] {
-                    if let Some(v) = self.hop(links, src, c, idx, mu, step, false, Some(mu)) {
+                    if let Some(v) = self.hop_ghost(links, src, c, idx, mu, step, mu) {
                         acc = acc.add(&v.scale(eta));
                         touched = true;
                     }

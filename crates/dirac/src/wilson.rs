@@ -10,15 +10,17 @@
 //! Even-odd (red-black) preconditioning solves the Schur complement
 //! `M̂_oo = T_oo − (1/16) D̂_oe T_ee⁻¹ D̂_eo` (§3.1).
 
-use crate::exchange::exchange_ghosts;
+use crate::exchange::{complete_ghost_dim, exchange_ghosts_with, post_ghost_sends};
+use crate::overlap::{check_field_geometry, run_overlapped, DslashCounters, OverlapPipeline};
 use crate::BoundaryMode;
 use lqcd_comms::Communicator;
-use lqcd_field::{blas, LatticeField};
+use lqcd_field::{blas, BodyView, LatticeField, SiteObject};
 use lqcd_gauge::GaugeField;
 use lqcd_lattice::{FaceGeometry, Neighbor, Parity, SubLattice, NDIM};
 use lqcd_su3::{CloverSite, Projector, WilsonSpinor};
 use lqcd_util::{Error, Real, Result};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Ghost-zone depth of the Wilson stencil (nearest neighbour).
 pub const WILSON_DEPTH: usize = 1;
@@ -27,7 +29,6 @@ pub const WILSON_DEPTH: usize = 1;
 pub type SpinorField<R> = LatticeField<R, WilsonSpinor<R>>;
 
 /// The Wilson(-clover) operator bound to one rank's gauge field.
-#[derive(Clone)]
 pub struct WilsonCloverOp<R: Real> {
     /// Gauge links with depth-1 backward ghosts.
     pub gauge: GaugeField<R>,
@@ -41,6 +42,25 @@ pub struct WilsonCloverOp<R: Real> {
     pub mass: f64,
     sub: Arc<SubLattice>,
     faces: FaceGeometry,
+    /// Exchange buffers, apply counters, interior thread count.
+    overlap: Mutex<OverlapPipeline<R>>,
+}
+
+impl<R: Real> Clone for WilsonCloverOp<R> {
+    fn clone(&self) -> Self {
+        // Fresh pipeline state (buffers are lazily re-sized; counters
+        // start at zero), same thread configuration.
+        let threads = self.interior_threads();
+        WilsonCloverOp {
+            gauge: self.gauge.clone(),
+            clover: self.clover.clone(),
+            t_inv: self.t_inv.clone(),
+            mass: self.mass,
+            sub: self.sub.clone(),
+            faces: self.faces.clone(),
+            overlap: Mutex::new(OverlapPipeline::with_threads(threads)),
+        }
+    }
 }
 
 impl<R: Real> WilsonCloverOp<R> {
@@ -57,7 +77,36 @@ impl<R: Real> WilsonCloverOp<R> {
                 "gauge field ghost depth too small for the Wilson stencil".into(),
             ));
         }
-        Ok(Self { gauge, clover, t_inv: None, mass, sub, faces })
+        Ok(Self {
+            gauge,
+            clover,
+            t_inv: None,
+            mass,
+            sub,
+            faces,
+            overlap: Mutex::new(OverlapPipeline::default()),
+        })
+    }
+
+    /// Set the number of interior-kernel worker threads (min 1). Results
+    /// are bit-identical for every value; this only changes scheduling.
+    pub fn set_interior_threads(&self, n: usize) {
+        self.overlap.lock().unwrap().threads = n.max(1);
+    }
+
+    /// Current interior-kernel worker count.
+    pub fn interior_threads(&self) -> usize {
+        self.overlap.lock().unwrap().threads
+    }
+
+    /// Snapshot of the cumulative per-apply timing counters.
+    pub fn dslash_counters(&self) -> DslashCounters {
+        self.overlap.lock().unwrap().counters
+    }
+
+    /// Zero the cumulative timing counters.
+    pub fn reset_dslash_counters(&self) {
+        self.overlap.lock().unwrap().counters = DslashCounters::default();
     }
 
     /// The subvolume the operator acts on.
@@ -102,11 +151,28 @@ impl<R: Real> WilsonCloverOp<R> {
         Ok(())
     }
 
-    /// The doubled hopping stencil `out = D̂ src` (`D̂ = 2D`): interior
-    /// kernel plus one exterior kernel per partitioned dimension.
+    /// Geometry validation for a dslash apply: parity pairing plus
+    /// allocation shape of both fields against the operator's subvolume
+    /// and face geometry (structured [`Error::Shape`], never a panic).
+    fn check_geometry(&self, out: &SpinorField<R>, src: &SpinorField<R>) -> Result<()> {
+        if out.parity() != src.parity().other() {
+            return Err(Error::Shape("dslash: out must have opposite parity to src".into()));
+        }
+        check_field_geometry("out", out, &self.sub, &self.faces)?;
+        check_field_geometry("src", src, &self.sub, &self.faces)
+    }
+
+    /// The doubled hopping stencil `out = D̂ src` (`D̂ = 2D`), pipelined
+    /// as in the paper's Fig. 4: face gathers are packed and posted as
+    /// nonblocking exchanges, the interior kernel runs while they are in
+    /// flight (optionally on worker threads — see
+    /// [`WilsonCloverOp::set_interior_threads`]), each dimension's ghosts
+    /// are completed as they land, and the exterior kernels run last.
     ///
     /// `src` is mutable because its ghost zones are refreshed in `Full`
-    /// mode. `out` must have the opposite parity of `src`.
+    /// mode. `out` must have the opposite parity of `src`. Output is
+    /// bit-identical to [`WilsonCloverOp::dslash_sequential`] for every
+    /// thread count.
     pub fn dslash<C: Communicator>(
         &self,
         out: &mut SpinorField<R>,
@@ -114,11 +180,83 @@ impl<R: Real> WilsonCloverOp<R> {
         comm: &mut C,
         mode: BoundaryMode,
     ) -> Result<()> {
-        if out.parity() != src.parity().other() {
-            return Err(Error::Shape("dslash: out must have opposite parity to src".into()));
+        self.check_geometry(out, src)?;
+        let apply_t = Instant::now();
+        let mut guard = self.overlap.lock().unwrap();
+        let OverlapPipeline { bufs, counters, threads } = &mut *guard;
+        let exchange = mode == BoundaryMode::Full;
+
+        // Stage 1: gather faces, pack to wire precision, post sends.
+        let gather_t = Instant::now();
+        let mut pending = if exchange {
+            post_ghost_sends(src, &self.faces, comm, bufs)?
+        } else {
+            Default::default()
+        };
+        let gather_ns = gather_t.elapsed().as_nanos() as u64;
+
+        // Stage 2: interior kernel concurrent with ghost completion.
+        // The block scopes the split borrow of `src` (body view + ghost
+        // zones) so the exterior kernels can reborrow it whole below.
+        let out_parity = out.parity();
+        let src_parity = src.parity();
+        let (interior_ns, wall_ns) = {
+            let (src_view, mut zones) = src.body_and_ghosts_mut();
+            let kernel = |chunk: &mut [R], lo_site: usize| {
+                self.interior_range(chunk, lo_site, src_view, out_parity, src_parity);
+            };
+            run_overlapped(
+                *threads,
+                out.body_mut(),
+                <WilsonSpinor<R> as SiteObject<R>>::REALS,
+                &kernel,
+                || {
+                    if exchange {
+                        for mu in 0..NDIM {
+                            if self.sub.partitioned[mu] {
+                                complete_ghost_dim(&mut pending, mu, &mut zones, comm, bufs)?;
+                            }
+                        }
+                    }
+                    Ok(())
+                },
+            )?
+        };
+
+        // Stage 3: exterior kernels, fixed ascending-µ order (corner
+        // sites accumulate across dimensions — §6.2).
+        let ext_t = Instant::now();
+        if exchange {
+            for mu in 0..NDIM {
+                if self.sub.partitioned[mu] {
+                    self.dslash_exterior(out, src, mu);
+                }
+            }
         }
+        counters.applies += 1;
+        counters.gather_ns += gather_ns;
+        counters.interior_ns += interior_ns;
+        counters.exterior_ns += ext_t.elapsed().as_nanos() as u64;
+        counters.exposed_comm_ns += wall_ns.saturating_sub(interior_ns);
+        counters.total_ns += apply_t.elapsed().as_nanos() as u64;
+        Ok(())
+    }
+
+    /// The same stencil with blocking communication: exchange every
+    /// ghost zone up front, then interior, then exteriors. Kept as the
+    /// baseline the overlapped path is measured (and bit-compared)
+    /// against.
+    pub fn dslash_sequential<C: Communicator>(
+        &self,
+        out: &mut SpinorField<R>,
+        src: &mut SpinorField<R>,
+        comm: &mut C,
+        mode: BoundaryMode,
+    ) -> Result<()> {
+        self.check_geometry(out, src)?;
         if mode == BoundaryMode::Full {
-            exchange_ghosts(src, &self.faces, comm)?;
+            let bufs = &mut self.overlap.lock().unwrap().bufs;
+            exchange_ghosts_with(src, &self.faces, comm, bufs)?;
         }
         self.dslash_interior(out, src);
         if mode == BoundaryMode::Full {
@@ -137,7 +275,26 @@ impl<R: Real> WilsonCloverOp<R> {
     fn dslash_interior(&self, out: &mut SpinorField<R>, src: &SpinorField<R>) {
         let out_parity = out.parity();
         let src_parity = src.parity();
-        for (idx, c) in self.sub.sites(out_parity) {
+        let view = src.body_view();
+        self.interior_range(out.body_mut(), 0, view, out_parity, src_parity);
+    }
+
+    /// Interior kernel over a contiguous site range: `out_chunk` holds
+    /// the flat reals of sites `lo_site ..`, each computed independently
+    /// (this is what makes chunked parallel execution bit-identical to
+    /// the single pass).
+    fn interior_range(
+        &self,
+        out_chunk: &mut [R],
+        lo_site: usize,
+        src: BodyView<'_, R, WilsonSpinor<R>>,
+        out_parity: Parity,
+        src_parity: Parity,
+    ) {
+        let reals = <WilsonSpinor<R> as SiteObject<R>>::REALS;
+        for (k, slot) in out_chunk.chunks_exact_mut(reals).enumerate() {
+            let idx = lo_site + k;
+            let c = self.sub.cb_coords(out_parity, idx);
             let mut acc = WilsonSpinor::zero();
             for mu in 0..NDIM {
                 // Forward hop: U_µ(x) (1 − γµ) ψ(x + µ̂).
@@ -159,7 +316,7 @@ impl<R: Real> WilsonCloverOp<R> {
                     proj.accumulate(&mut acc, &h);
                 }
             }
-            out.set_site(idx, acc);
+            acc.write(slot);
         }
     }
 

@@ -2,7 +2,7 @@
 
 use crate::layout::FieldLayout;
 use crate::site::SiteObject;
-use lqcd_lattice::{FaceGeometry, Parity, SubLattice};
+use lqcd_lattice::{FaceGeometry, Parity, SubLattice, NDIM};
 use lqcd_util::{Error, Real, Result};
 use std::marker::PhantomData;
 use std::sync::Arc;
@@ -117,6 +117,37 @@ impl<R: Real, S: SiteObject<R>> LatticeField<R, S> {
         &self.data[base..base + len]
     }
 
+    /// Split the allocation into a shared body view and exclusive ghost
+    /// zones. This is the borrow shape of the overlapped dslash: the
+    /// interior kernel reads the body (from any number of worker
+    /// threads) while completed receives land in the ghost zones.
+    pub fn body_and_ghosts_mut(&mut self) -> (BodyView<'_, R, S>, GhostZonesMut<'_, R>) {
+        let body_len = self.layout.body_sites * S::REALS;
+        let pad_len = self.layout.pad_sites * S::REALS;
+        let (body, rest) = self.data.split_at_mut(body_len);
+        let mut rest = &mut rest[pad_len..];
+        let mut zones: [[Option<&mut [R]>; 2]; NDIM] = Default::default();
+        // Zones follow body+pad in layout order: ascending mu, backward
+        // then forward (see `FieldLayout::new`).
+        for (mu, zone) in zones.iter_mut().enumerate() {
+            let n = self.layout.ghost_sites[mu] * S::REALS;
+            if n == 0 {
+                continue;
+            }
+            let (bwd, r) = rest.split_at_mut(n);
+            let (fwd, r) = r.split_at_mut(n);
+            zone[0] = Some(bwd);
+            zone[1] = Some(fwd);
+            rest = r;
+        }
+        (BodyView { body, _site: PhantomData }, GhostZonesMut { zones })
+    }
+
+    /// Read-only body view (same site accessors as the split view).
+    pub fn body_view(&self) -> BodyView<'_, R, S> {
+        BodyView { body: self.body(), _site: PhantomData }
+    }
+
     /// Gather body sites listed in `table` into a contiguous send buffer
     /// (the "gather kernel" of §6.1). `out` must hold
     /// `table.len() * S::REALS` reals.
@@ -223,6 +254,48 @@ impl<R: Real, S: SiteObject<R>> LatticeField<R, S> {
             out.set_site(idx, s.cast_site());
         }
         out
+    }
+}
+
+/// Shared view of a field's body sites, cheap to copy into worker
+/// threads (`&[R]` is `Sync`). Produced by
+/// [`LatticeField::body_and_ghosts_mut`] / [`LatticeField::body_view`].
+#[derive(Clone, Copy)]
+pub struct BodyView<'a, R: Real, S: SiteObject<R>> {
+    body: &'a [R],
+    _site: PhantomData<S>,
+}
+
+impl<'a, R: Real, S: SiteObject<R>> BodyView<'a, R, S> {
+    /// Read a body site (same indexing as [`LatticeField::site`]).
+    #[inline(always)]
+    pub fn site(&self, idx: usize) -> S {
+        S::read(&self.body[idx * S::REALS..(idx + 1) * S::REALS])
+    }
+
+    /// Number of body sites in the view.
+    #[inline]
+    pub fn num_sites(&self) -> usize {
+        self.body.len() / S::REALS
+    }
+}
+
+/// Exclusive access to every ghost zone of a field, independent of the
+/// body. Receive targets for the completion half of a split exchange.
+pub struct GhostZonesMut<'a, R: Real> {
+    zones: [[Option<&'a mut [R]>; 2]; NDIM],
+}
+
+impl<R: Real> GhostZonesMut<'_, R> {
+    /// Mutable flat view of one ghost zone.
+    ///
+    /// # Panics
+    /// Panics if the dimension has no ghost zone, mirroring
+    /// [`FieldLayout::ghost_base`].
+    pub fn zone_mut(&mut self, mu: usize, forward: bool) -> &mut [R] {
+        self.zones[mu][forward as usize]
+            .as_deref_mut()
+            .unwrap_or_else(|| panic!("no ghost zone for dimension {mu}"))
     }
 }
 
@@ -343,6 +416,39 @@ mod tests {
         for idx in (0..f.num_sites()).step_by(7) {
             assert!(f.site(idx).sub(&back.site(idx)).norm_sqr() < 1e-10);
         }
+    }
+
+    #[test]
+    fn split_borrow_matches_whole_field_accessors() {
+        let mut f = make_field();
+        f.fill(|idx| {
+            let mut s = WilsonSpinor::zero();
+            s.s[0].c[0] = lqcd_util::Complex::from_re(idx as f64);
+            s
+        });
+        let t = SeedTree::new(4);
+        let (g2, g3) = (WilsonSpinor::random(&mut t.rng()), WilsonSpinor::random(&mut t.rng()));
+        let n = f.num_sites();
+        {
+            let (body, mut zones) = f.body_and_ghosts_mut();
+            // The body is readable (e.g. from interior workers) while
+            // ghost zones are written.
+            assert_eq!(body.num_sites(), n);
+            g2.write(&mut zones.zone_mut(2, false)[..24]);
+            g3.write(&mut zones.zone_mut(3, true)[..24]);
+            assert_eq!(body.site(5).s[0].c[0].re, 5.0);
+        }
+        assert_eq!(f.ghost(2, false, 0), g2);
+        assert_eq!(f.ghost(3, true, 0), g3);
+        assert_eq!(f.site(5).s[0].c[0].re, 5.0, "body untouched by zone writes");
+    }
+
+    #[test]
+    #[should_panic(expected = "no ghost zone")]
+    fn split_borrow_panics_for_unpartitioned_dim() {
+        let mut f = make_field();
+        let (_, mut zones) = f.body_and_ghosts_mut();
+        let _ = zones.zone_mut(0, true);
     }
 
     #[test]

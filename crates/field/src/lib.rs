@@ -34,7 +34,7 @@ pub mod layout;
 pub mod site;
 pub mod snapshot;
 
-pub use field::{CastSite, CastSiteAny, LatticeField};
+pub use field::{BodyView, CastSite, CastSiteAny, GhostZonesMut, LatticeField};
 pub use half::HalfField;
 pub use layout::FieldLayout;
 pub use site::SiteObject;

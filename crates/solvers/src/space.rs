@@ -34,6 +34,16 @@ pub struct SolveStats {
     /// Supervised world teardown/rebuild cycles that preceded this
     /// result (0 for an undisturbed solve).
     pub supervisor_restarts: usize,
+    /// Dslash applications counted by the overlapped operator pipeline.
+    pub dslash_applies: u64,
+    /// Wall time of those applies, nanoseconds.
+    pub dslash_total_ns: u64,
+    /// Interior-kernel time inside those applies (max over workers when
+    /// the interior runs parallel), nanoseconds.
+    pub dslash_interior_ns: u64,
+    /// Communication-completion time *not* hidden behind the interior
+    /// kernel, nanoseconds — the quantity overlap drives toward zero.
+    pub dslash_exposed_comm_ns: u64,
 }
 
 impl SolveStats {
@@ -52,6 +62,10 @@ impl SolveStats {
             checkpoints_written: 0,
             resumed_from_checkpoint: false,
             supervisor_restarts: 0,
+            dslash_applies: 0,
+            dslash_total_ns: 0,
+            dslash_interior_ns: 0,
+            dslash_exposed_comm_ns: 0,
         }
     }
 
@@ -66,6 +80,17 @@ impl SolveStats {
         self.checkpoints_written += inner.checkpoints_written;
         self.resumed_from_checkpoint |= inner.resumed_from_checkpoint;
         self.supervisor_restarts += inner.supervisor_restarts;
+        self.dslash_applies += inner.dslash_applies;
+        self.dslash_total_ns += inner.dslash_total_ns;
+        self.dslash_interior_ns += inner.dslash_interior_ns;
+        self.dslash_exposed_comm_ns += inner.dslash_exposed_comm_ns;
+    }
+
+    /// Fraction of dslash wall time *not* lost to exposed communication
+    /// (`1 − exposed/total`), or `None` if no applies were counted.
+    pub fn overlap_efficiency(&self) -> Option<f64> {
+        (self.dslash_total_ns > 0)
+            .then(|| 1.0 - self.dslash_exposed_comm_ns as f64 / self.dslash_total_ns as f64)
     }
 }
 

@@ -65,6 +65,24 @@ pub trait Real:
     /// True if the value is finite (not NaN/inf).
     fn is_finite(self) -> bool;
 
+    /// Values of this precision carried in each `f64` wire word of a
+    /// ghost exchange (`1` for double, `2` for single: two bit-packed
+    /// `f32`s per word, so messages ship at the field's true width).
+    const WIRE_PER_WORD: usize;
+
+    /// Wire words needed to carry `n` values of this precision.
+    #[inline]
+    fn wire_words(n: usize) -> usize {
+        n.div_ceil(Self::WIRE_PER_WORD)
+    }
+
+    /// Bit-pack `src` into `wire` (`wire.len() == wire_words(src.len())`).
+    /// Lossless: `unpack_wire` recovers `src` bit-for-bit.
+    fn pack_wire(src: &[Self], wire: &mut [f64]);
+
+    /// Inverse of [`Real::pack_wire`].
+    fn unpack_wire(wire: &[f64], dst: &mut [Self]);
+
     /// Convenience: convert a `usize` count into this precision.
     #[inline]
     fn from_usize(n: usize) -> Self {
@@ -73,8 +91,11 @@ pub trait Real:
 }
 
 macro_rules! impl_real {
-    ($t:ty, $name:literal) => {
+    ($t:ty, $name:literal, $wire_per_word:expr, $pack:item, $unpack:item) => {
         impl Real for $t {
+            const WIRE_PER_WORD: usize = $wire_per_word;
+            $pack
+            $unpack
             const ZERO: Self = 0.0;
             const ONE: Self = 1.0;
             const EPSILON: Self = <$t>::EPSILON;
@@ -116,8 +137,42 @@ macro_rules! impl_real {
     };
 }
 
-impl_real!(f32, "single");
-impl_real!(f64, "double");
+impl_real!(
+    f32,
+    "single",
+    2,
+    fn pack_wire(src: &[f32], wire: &mut [f64]) {
+        assert_eq!(wire.len(), src.len().div_ceil(2), "wire buffer size");
+        for (w, pair) in wire.iter_mut().zip(src.chunks(2)) {
+            let lo = pair[0].to_bits() as u64;
+            let hi = if pair.len() > 1 { pair[1].to_bits() as u64 } else { 0 };
+            *w = f64::from_bits(lo | (hi << 32));
+        }
+    },
+    fn unpack_wire(wire: &[f64], dst: &mut [f32]) {
+        assert_eq!(wire.len(), dst.len().div_ceil(2), "wire buffer size");
+        for (pair, w) in dst.chunks_mut(2).zip(wire) {
+            let bits = w.to_bits();
+            pair[0] = f32::from_bits(bits as u32);
+            if pair.len() > 1 {
+                pair[1] = f32::from_bits((bits >> 32) as u32);
+            }
+        }
+    }
+);
+impl_real!(
+    f64,
+    "double",
+    1,
+    fn pack_wire(src: &[f64], wire: &mut [f64]) {
+        assert_eq!(wire.len(), src.len(), "wire buffer size");
+        wire.copy_from_slice(src);
+    },
+    fn unpack_wire(wire: &[f64], dst: &mut [f64]) {
+        assert_eq!(wire.len(), dst.len(), "wire buffer size");
+        dst.copy_from_slice(wire);
+    }
+);
 
 #[cfg(test)]
 mod tests {
@@ -170,5 +225,47 @@ mod tests {
     fn from_usize_matches() {
         assert_eq!(<f32 as Real>::from_usize(7), 7.0f32);
         assert_eq!(<f64 as Real>::from_usize(7), 7.0f64);
+    }
+
+    #[test]
+    fn wire_words_count_by_precision() {
+        assert_eq!(<f64 as Real>::wire_words(6), 6);
+        assert_eq!(<f32 as Real>::wire_words(6), 3);
+        assert_eq!(<f32 as Real>::wire_words(7), 4, "odd counts round up");
+        assert_eq!(<f32 as Real>::wire_words(0), 0);
+    }
+
+    #[test]
+    fn wire_pack_roundtrips_bit_exactly() {
+        // Include values that do NOT survive an f32→f64→f32 cast of bits
+        // (subnormals, negative zero) and odd lengths.
+        let src32: Vec<f32> = vec![1.5, -0.0, f32::MIN_POSITIVE / 2.0, 3.25e-7, -9.75, 42.0, 0.1];
+        for len in [0, 1, 2, 6, 7] {
+            let s = &src32[..len];
+            let mut wire = vec![0.0f64; <f32 as Real>::wire_words(len)];
+            f32::pack_wire(s, &mut wire);
+            let mut back = vec![0.0f32; len];
+            f32::unpack_wire(&wire, &mut back);
+            for (a, b) in s.iter().zip(&back) {
+                assert_eq!(a.to_bits(), b.to_bits(), "f32 wire must be lossless");
+            }
+        }
+        let src64 = [1.0f64, -2.5, 1e-300, 0.1];
+        let mut wire = vec![0.0f64; 4];
+        f64::pack_wire(&src64, &mut wire);
+        let mut back = [0.0f64; 4];
+        f64::unpack_wire(&wire, &mut back);
+        assert_eq!(src64, back);
+    }
+
+    #[test]
+    fn corrupted_wire_word_stays_detectable() {
+        // The chaos layer corrupts wire words to NaN; an unpacked f32
+        // pair must still contain a non-finite value so downstream
+        // breakdown detection fires.
+        let wire = [f64::NAN];
+        let mut pair = [0.0f32; 2];
+        f32::unpack_wire(&wire, &mut pair);
+        assert!(pair.iter().any(|x| !x.is_finite()), "corruption must survive unpacking");
     }
 }
