@@ -3,17 +3,23 @@
 //! overlap efficiency with the stream-model prediction (Fig. 4).
 //!
 //! Emits `BENCH_dslash.json` (via the standard artifact dir) with both
-//! measured and simulated numbers.
+//! measured and simulated numbers. With `--trace`, also records the
+//! flight recorder across the run and emits `TRACE_dslash.json` in
+//! Chrome `trace_event` format (open in `about:tracing` / Perfetto) —
+//! one process per rank, one thread track per pipeline stage — plus an
+//! aggregated text report. Tracing adds a little overhead per stage, so
+//! the measured numbers of a traced run are not comparison-grade.
 
-use lqcd_bench::write_artifact;
+use lqcd_bench::{artifact_dir, write_artifact};
 use lqcd_comms::{run_on_grid, Communicator};
 use lqcd_core::problem::WilsonProblem;
 use lqcd_dirac::{BoundaryMode, DslashCounters};
 use lqcd_lattice::{Dims, ProcessGrid};
 use lqcd_perf::cost::{OpConfig, PartitionGeometry};
 use lqcd_perf::{edge, simulate_dslash, OperatorKind, Precision, Recon};
-use lqcd_util::Result;
+use lqcd_util::{trace, Result};
 use serde::Serialize;
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// Measurement rounds per path; the fastest round of each is reported.
@@ -49,7 +55,64 @@ struct BenchDslash {
     model_idle_us: f64,
 }
 
+/// Parse the exported Chrome trace back through `serde_json` and check
+/// its structural invariants: every `B` closes with an `E` on its
+/// (pid, tid) stack, and every rank's Interior track shows at least one
+/// span overlapping an in-flight exchange span on the Comm track — the
+/// overlap the pipeline exists to produce.
+fn validate_trace(json: &str) {
+    let v = serde_json::from_str(json).expect("trace JSON must parse");
+    let events = v
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("trace must be the {\"traceEvents\": [...]} object form");
+    let mut stacks: HashMap<(i64, i64), Vec<(String, f64)>> = HashMap::new();
+    let mut interior: HashMap<i64, Vec<(f64, f64)>> = HashMap::new();
+    let mut inflight: HashMap<i64, Vec<(f64, f64)>> = HashMap::new();
+    for e in events {
+        let ph = e.get("ph").and_then(|p| p.as_str()).expect("ph");
+        if ph != "B" && ph != "E" {
+            continue;
+        }
+        let pid = e.get("pid").and_then(|p| p.as_i64()).expect("pid");
+        let tid = e.get("tid").and_then(|t| t.as_i64()).expect("tid");
+        let ts = e.get("ts").and_then(|t| t.as_f64()).expect("ts");
+        let name = e.get("name").and_then(|n| n.as_str()).expect("name").to_string();
+        let stack = stacks.entry((pid, tid)).or_default();
+        if ph == "B" {
+            stack.push((name, ts));
+        } else {
+            let (opened, begin) = stack
+                .pop()
+                .unwrap_or_else(|| panic!("unbalanced E for {name:?} on pid {pid} tid {tid}"));
+            match opened.as_str() {
+                "interior" => interior.entry(pid).or_default().push((begin, ts)),
+                "exchange_inflight" => inflight.entry(pid).or_default().push((begin, ts)),
+                _ => {}
+            }
+        }
+    }
+    for ((pid, tid), stack) in &stacks {
+        assert!(stack.is_empty(), "pid {pid} tid {tid} left {} span(s) open", stack.len());
+    }
+    assert!(!interior.is_empty(), "no interior spans in the trace");
+    for (pid, spans) in &interior {
+        let comm = inflight.get(pid).map(Vec::as_slice).unwrap_or(&[]);
+        let overlapping =
+            spans.iter().any(|&(i0, i1)| comm.iter().any(|&(c0, c1)| i0.max(c0) < i1.min(c1)));
+        assert!(overlapping, "rank {pid}: no interior span overlaps an in-flight exchange");
+    }
+    println!(
+        "  trace OK: {} ranks, every B/E balanced, interior ∥ exchange on every rank",
+        interior.len()
+    );
+}
+
 fn main() {
+    let traced = std::env::args().any(|a| a == "--trace");
+    if traced {
+        trace::enable();
+    }
     let p = WilsonProblem::small();
     let shape = Dims([1, 1, 2, 2]);
     let grid = ProcessGrid::new(shape, p.global).expect("grid");
@@ -174,4 +237,16 @@ fn main() {
         println!("  RESULT: WARNING overlapped slower than sequential ({:.2}x)", report.speedup);
     }
     write_artifact("BENCH_dslash", &report);
+
+    if traced {
+        trace::disable();
+        let ranks_trace = trace::take();
+        let json = trace::export_chrome_json(&ranks_trace);
+        let path = artifact_dir().join("TRACE_dslash.json");
+        std::fs::write(&path, &json).expect("write trace artifact");
+        println!("[artifact] {} (load in about:tracing or ui.perfetto.dev)", path.display());
+        validate_trace(&json);
+        print!("{}", trace::summarize(&ranks_trace));
+        println!("  note: tracing adds per-stage overhead; timings above are not comparison-grade");
+    }
 }

@@ -1,13 +1,55 @@
 //! Regenerate Fig. 4 (the 9-stream schedule) as data: the per-stream
 //! task timeline of one dslash application, with the GPU-idle interval
 //! the paper highlights for small subvolumes.
+//!
+//! With `--trace`, also runs a short *measured* section: a 4-rank
+//! in-process world applying the real overlapped dslash with the flight
+//! recorder on, exported as `TRACE_fig4.json` (Chrome `trace_event`
+//! form) so the measured per-rank stream timeline can be eyeballed next
+//! to the model's schedule.
 
-use lqcd_bench::write_artifact;
+use lqcd_bench::{artifact_dir, write_artifact};
 use lqcd_lattice::{Dims, PartitionScheme};
 use lqcd_perf::cost::{OpConfig, PartitionGeometry};
 use lqcd_perf::{edge, simulate_dslash, OperatorKind, Precision, Recon};
+use lqcd_util::trace;
+
+/// The measured counterpart to the simulated schedule: trace a few real
+/// overlapped applies and emit the per-rank timeline.
+fn traced_measurement() {
+    use lqcd_comms::run_on_grid;
+    use lqcd_core::problem::WilsonProblem;
+    use lqcd_dirac::BoundaryMode;
+    use lqcd_lattice::ProcessGrid;
+
+    trace::enable();
+    let p = WilsonProblem::small();
+    let grid = ProcessGrid::new(Dims([1, 1, 2, 2]), p.global).expect("grid");
+    let g = grid.clone();
+    let results = run_on_grid(grid, move |mut comm| -> lqcd_util::Result<()> {
+        let op = p.build_operator(&mut comm, &g)?;
+        let mut src = p.rhs(&op);
+        let mut out = op.alloc(src.parity().other());
+        for _ in 0..5 {
+            op.dslash(&mut out, &mut src, &mut comm, BoundaryMode::Full)?;
+        }
+        Ok(())
+    });
+    for r in results {
+        r.expect("traced fig4 world");
+    }
+    trace::disable();
+    let ranks = trace::take();
+    let json = trace::export_chrome_json(&ranks);
+    let path = artifact_dir().join("TRACE_fig4.json");
+    std::fs::write(&path, &json).expect("write trace artifact");
+    println!("\nMeasured stream timeline (5 overlapped applies, 4 ranks):");
+    println!("[artifact] {} (load in about:tracing or ui.perfetto.dev)", path.display());
+    print!("{}", trace::summarize(&ranks));
+}
 
 fn main() {
+    let traced = std::env::args().any(|a| a == "--trace");
     let model = edge();
     let cfg = OpConfig {
         kind: OperatorKind::WilsonClover,
@@ -41,4 +83,7 @@ fn main() {
     );
     println!("Run `cargo run --release --example stream_timeline -- <gpus>` for the ASCII chart.");
     write_artifact("fig4", &artifacts);
+    if traced {
+        traced_measurement();
+    }
 }

@@ -20,6 +20,7 @@ use lqcd_solvers::{
     bicgstab, gcr, gcr_monitored, multishift_cg, SchwarzMR, SolveStats, SolveWatchdog, SolverSpace,
 };
 use lqcd_util::{Error, Result};
+use std::time::{Duration, Instant};
 
 /// Per-rank outcome of a Wilson solve.
 #[derive(Debug, Clone)]
@@ -133,15 +134,38 @@ impl PrecisionRung {
     }
 }
 
-/// Copy the operator pipeline's cumulative dslash timing counters into a
-/// solve's stats record (overwrites: the operator's counters already
-/// aggregate every apply of the solve).
-pub(crate) fn record_dslash(stats: &mut SolveStats, d: lqcd_dirac::DslashCounters) {
-    stats.dslash_applies = d.applies;
-    stats.dslash_total_ns = d.total_ns;
-    stats.dslash_interior_ns = d.interior_ns;
-    stats.dslash_exposed_comm_ns = d.exposed_comm_ns;
+/// Record the dslash work done since `baseline` into a solve's stats and
+/// advance the baseline to `now`.
+///
+/// Operator counters are *cumulative over the operator's lifetime*, so
+/// any stats record destined for [`SolveStats::absorb`] must be a delta
+/// between two reads — reading totals at rung boundaries double-counts
+/// every apply the previous read already claimed when the ladder folds
+/// rungs drained from the same shared operator. Threading the baseline
+/// through makes the drain delta-by-construction.
+pub(crate) fn drain_dslash(
+    stats: &mut SolveStats,
+    now: lqcd_dirac::DslashCounters,
+    baseline: &mut lqcd_dirac::DslashCounters,
+) {
+    stats.dslash_applies = now.applies.saturating_sub(baseline.applies);
+    stats.dslash_total_ns = now.total_ns.saturating_sub(baseline.total_ns);
+    stats.dslash_interior_ns = now.interior_ns.saturating_sub(baseline.interior_ns);
+    stats.dslash_exposed_comm_ns = now.exposed_comm_ns.saturating_sub(baseline.exposed_comm_ns);
+    *baseline = now;
 }
+
+/// Drain against a zero baseline — for the single-attempt drivers whose
+/// operator is freshly built for exactly one solve.
+pub(crate) fn record_dslash(stats: &mut SolveStats, d: lqcd_dirac::DslashCounters) {
+    let mut zero = lqcd_dirac::DslashCounters::default();
+    drain_dslash(stats, d, &mut zero);
+}
+
+/// Outcome of one ladder attempt: success, or the error paired with the
+/// salvaged partial stats of the failed rung (what the ladder folds into
+/// the final record instead of discarding).
+pub(crate) type AttemptResult = std::result::Result<WilsonSolveOutcome, (Error, SolveStats)>;
 
 /// Errors worth retrying at a higher precision: numerical breakdowns
 /// (NaN from corruption, quantization overflow) and convergence stalls.
@@ -155,48 +179,76 @@ pub(crate) fn recoverable(e: &Error) -> bool {
 /// decisions: the breakdown/convergence tests all hang off *global*
 /// reductions, so either every rank succeeds or every rank sees the
 /// same recoverable error and climbs the ladder in lockstep.
+///
+/// `prior` is wall time earlier attempts of the same logical solve
+/// already consumed; the watchdog counts it against the wall-clock
+/// budget. A failed attempt returns the work it *did* perform alongside
+/// the error (dslash counters drained as deltas against the operator's
+/// state at attempt start) so the ladder can fold it into the final
+/// record instead of silently dropping it.
+// The Err payload deliberately carries the salvaged SolveStats of the
+// failed attempt; boxing it would add an allocation to an error path
+// the ladder unwraps immediately.
+#[allow(clippy::result_large_err)]
 fn gcr_dd_attempt<C: Communicator>(
     p: &WilsonProblem,
     op64: &WilsonCloverOp<f64>,
     comm: SharedComm<C>,
     rung: PrecisionRung,
-) -> Result<WilsonSolveOutcome> {
+    prior: Duration,
+) -> AttemptResult {
+    fn fail(e: Error) -> (Error, SolveStats) {
+        (e, SolveStats::new())
+    }
     macro_rules! attempt {
         ($space:expr, $precond:expr, $params:expr) => {{
-            let mut space = $space;
+            let mut space = $space.map_err(fail)?;
+            let mut baseline = space.op.dslash_counters();
             let b = p.rhs(&space.op);
             let mut x = space.alloc();
             // The watchdog rides every rung of the ladder: a NaN or a
             // stagnating attempt becomes a structured breakdown the
             // ladder can escalate instead of a burned iteration budget.
-            let mut dog = SolveWatchdog::new("gcr-dd", p.watchdog);
-            let mut stats =
-                gcr_monitored(&mut space, &mut $precond, &mut x, &b, &$params, &mut dog)?;
-            record_dslash(&mut stats, space.op.dslash_counters());
-            let n2 = space.norm2(&x)?;
-            Ok(WilsonSolveOutcome {
-                stats,
-                solution_norm2: n2,
-                matvecs: space.matvec_count(),
-                dirichlet_matvecs: space.dirichlet_matvecs(),
-            })
+            // Its budget covers the logical solve, so earlier attempts'
+            // elapsed time carries in.
+            let mut dog = SolveWatchdog::resumed("gcr-dd", p.watchdog, prior);
+            match gcr_monitored(&mut space, &mut $precond, &mut x, &b, &$params, &mut dog) {
+                Ok(mut stats) => {
+                    drain_dslash(&mut stats, space.op.dslash_counters(), &mut baseline);
+                    let n2 = space.norm2(&x).map_err(|e| (e, stats))?;
+                    Ok(WilsonSolveOutcome {
+                        stats,
+                        solution_norm2: n2,
+                        matvecs: space.matvec_count(),
+                        dirichlet_matvecs: space.dirichlet_matvecs(),
+                    })
+                }
+                Err(e) => {
+                    // Salvage what the failed rung actually did.
+                    let mut partial = SolveStats::new();
+                    partial.matvecs = space.matvec_count();
+                    partial.precond_matvecs = space.dirichlet_matvecs();
+                    drain_dslash(&mut partial, space.op.dslash_counters(), &mut baseline);
+                    Err((e, partial))
+                }
+            }
         }};
     }
     match rung {
         PrecisionRung::Double => {
-            let op = cast_wilson_op::<f64>(op64)?;
-            attempt!(EoWilsonSpace::new(op, comm)?, SchwarzMR::new(p.mr_steps), p.gcr)
+            let op = cast_wilson_op::<f64>(op64).map_err(fail)?;
+            attempt!(EoWilsonSpace::new(op, comm), SchwarzMR::new(p.mr_steps), p.gcr)
         }
         PrecisionRung::Single => {
-            let op = cast_wilson_op::<f32>(op64)?;
-            attempt!(EoWilsonSpace::new(op, comm)?, SchwarzMR::new(p.mr_steps), p.gcr)
+            let op = cast_wilson_op::<f32>(op64).map_err(fail)?;
+            attempt!(EoWilsonSpace::new(op, comm), SchwarzMR::new(p.mr_steps), p.gcr)
         }
         PrecisionRung::Half => {
-            let op = cast_wilson_op::<f32>(op64)?;
+            let op = cast_wilson_op::<f32>(op64).map_err(fail)?;
             let mut params = p.gcr;
             params.quantize_krylov = true;
             attempt!(
-                EoWilsonSpace::new(op, comm)?.with_half_storage(),
+                EoWilsonSpace::new(op, comm).map(|s| s.with_half_storage()),
                 SchwarzMR::new(p.mr_steps).quantized(),
                 params
             )
@@ -217,24 +269,31 @@ fn resilient_solve<C: Communicator>(
     // build): the mixed-precision stack multiplexes it.
     let shared = SharedComm::new(comm);
     let op64 = p.build_operator(&mut shared.clone(), g)?;
+    let ladder_started = Instant::now();
     let mut rung = start;
     let mut fallbacks = 0usize;
+    // Work the failed rungs performed, folded into the final record —
+    // each attempt drains its counters as deltas, so absorbing here
+    // counts every apply exactly once.
+    let mut carried = SolveStats::new();
     loop {
-        match gcr_dd_attempt(p, &op64, shared.clone(), rung) {
+        match gcr_dd_attempt(p, &op64, shared.clone(), rung, ladder_started.elapsed()) {
             Ok(mut out) => {
+                out.stats.absorb(&carried);
                 out.stats.precision_fallbacks = fallbacks;
                 out.stats.exchange_retries = shared.exchange_retries();
                 out.stats.faults_survived = shared.faults_survived();
                 return Ok(out);
             }
-            Err(e) if recoverable(&e) => match rung.escalate() {
+            Err((e, partial)) if recoverable(&e) => match rung.escalate() {
                 Some(next) => {
+                    carried.absorb(&partial);
                     fallbacks += 1;
                     rung = next;
                 }
                 None => return Err(e),
             },
-            Err(e) => return Err(e),
+            Err((e, _)) => return Err(e),
         }
     }
 }
@@ -483,6 +542,58 @@ mod resilient_tests {
         }
         // The fault plan actually fired somewhere.
         assert!(res.iter().flatten().any(|o| o.stats.faults_survived > 0));
+    }
+
+    /// Regression for the absorb double-count bug: after the ladder
+    /// folds a failed rung's salvaged stats into the successful rung's,
+    /// `dslash_applies` must equal the operators' true apply count.
+    /// Every apply comes from `apply_eo_prec` (exactly two dslash calls),
+    /// invoked once per communicating matvec and once per Dirichlet
+    /// (Schwarz-block) matvec — and nothing else applies the operator —
+    /// so the folded record must satisfy
+    /// `dslash_applies == 2 · (matvecs + precond_matvecs)` exactly.
+    /// Reading totals instead of deltas at a rung boundary breaks this
+    /// the moment more than one rung contributes.
+    #[test]
+    fn ladder_dslash_accounting_matches_true_apply_counts() {
+        let (p, grid) = small_problem();
+        // Corrupt a reduction a few outer iterations into the
+        // half-precision rung (not the very first, which would break the
+        // rung before it performs any matvec): the rung does real work,
+        // breaks down, the ladder climbs, and the final record folds two
+        // rungs' worth of counters.
+        let plan = FaultPlan::new(11).with_rule(
+            FaultRule::corrupt_payload().on_rank(1).for_class(MsgClass::Reduce).after(4).times(1),
+        );
+        let res = run_wilson_gcr_dd_resilient(
+            &p,
+            grid,
+            PrecisionRung::Half,
+            CommConfig::resilient(),
+            Some(plan),
+        );
+        for (slot, r) in res.iter().enumerate() {
+            let out = r.as_ref().unwrap_or_else(|e| panic!("rank {slot}: {e}"));
+            assert!(out.stats.converged);
+            assert!(
+                out.stats.precision_fallbacks >= 1,
+                "rank {slot}: the test needs at least one folded rung"
+            );
+            let true_applies = 2 * (out.stats.matvecs + out.stats.precond_matvecs) as u64;
+            assert_eq!(
+                out.stats.dslash_applies, true_applies,
+                "rank {slot}: dslash_applies {} != 2·(matvecs {} + precond {})",
+                out.stats.dslash_applies, out.stats.matvecs, out.stats.precond_matvecs
+            );
+            // The fold added the failed rung's work on top of the final
+            // attempt's own counts.
+            assert!(
+                out.stats.matvecs > out.matvecs,
+                "rank {slot}: folded matvecs {} should exceed the final attempt's {}",
+                out.stats.matvecs,
+                out.matvecs
+            );
+        }
     }
 
     /// Every ARQ-absorbable fault class — loss, duplication, delay, and

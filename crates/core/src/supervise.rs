@@ -47,9 +47,9 @@ use lqcd_solvers::{
     gcr_monitored, SchwarzMR, SolveMonitor, SolveStats, SolveWatchdog, SolverSpace, WatchdogConfig,
 };
 use lqcd_util::checkpoint::{ByteReader, Checkpoint, CheckpointStore};
-use lqcd_util::{Error, Result};
+use lqcd_util::{trace, Error, Result};
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Format version of the solve-checkpoint metadata record.
 const META_VERSION: u8 = 1;
@@ -245,6 +245,11 @@ impl CheckpointingMonitor {
         let Some(store) = &self.store else {
             return Ok(());
         };
+        let _sp = trace::span_arg(
+            trace::Track::Checkpoint,
+            "checkpoint_write",
+            self.next_generation as i64,
+        );
         let meta = SolveCheckpointMeta {
             generation: self.next_generation,
             iterations: stats.iterations as u64,
@@ -364,7 +369,17 @@ pub fn common_generation(dir: &Path, num_ranks: usize, keep: usize) -> Option<u6
 /// restored double-precision solution. Checkpoint numbering continues
 /// from `*next_generation`; both counters survive a failed attempt so the
 /// ladder's next rung does not overwrite earlier generations.
+///
+/// `prior` is wall time the logical solve consumed before this attempt
+/// (earlier rungs *and* earlier supervised world launches); the watchdog
+/// budget covers the whole solve, not each attempt. Failure returns the
+/// salvaged partial stats alongside the error, with dslash counters
+/// drained as deltas against the operator's state at attempt start.
 #[allow(clippy::too_many_arguments)]
+// The Err payload deliberately carries the salvaged SolveStats of the
+// failed attempt; boxing it would add an allocation to an error path
+// the ladder unwraps immediately.
+#[allow(clippy::result_large_err)]
 fn supervised_attempt<C: Communicator>(
     p: &WilsonProblem,
     op64: &WilsonCloverOp<f64>,
@@ -376,10 +391,15 @@ fn supervised_attempt<C: Communicator>(
     template: SolveCheckpointMeta,
     next_generation: &mut u64,
     written: &mut usize,
-) -> Result<WilsonSolveOutcome> {
+    prior: Duration,
+) -> crate::drivers::AttemptResult {
+    fn fail(e: Error) -> (Error, SolveStats) {
+        (e, SolveStats::new())
+    }
     macro_rules! attempt {
         ($space:expr, $precond:expr, $params:expr) => {{
-            let mut space = $space;
+            let mut space = $space.map_err(fail)?;
+            let mut baseline = space.op.dslash_counters();
             let b = p.rhs(&space.op);
             let mut x = space.alloc();
             if let Some(x64) = resume {
@@ -387,7 +407,7 @@ fn supervised_attempt<C: Communicator>(
             }
             let mut precond = $precond;
             let mut monitor = CheckpointingMonitor::new(
-                SolveWatchdog::new("gcr-dd", sup.watchdog),
+                SolveWatchdog::resumed("gcr-dd", sup.watchdog, prior),
                 Some(store.clone()),
                 sup.checkpoint_every,
                 SolveCheckpointMeta { rung: rung_code(rung), ..template },
@@ -397,32 +417,51 @@ fn supervised_attempt<C: Communicator>(
                 gcr_monitored(&mut space, &mut precond, &mut x, &b, &$params, &mut monitor);
             *next_generation = monitor.next_generation();
             *written += monitor.written();
-            let mut stats = result?;
-            crate::drivers::record_dslash(&mut stats, space.op.dslash_counters());
-            let n2 = space.norm2(&x)?;
-            Ok(WilsonSolveOutcome {
-                stats,
-                solution_norm2: n2,
-                matvecs: space.matvec_count(),
-                dirichlet_matvecs: space.dirichlet_matvecs(),
-            })
+            match result {
+                Ok(mut stats) => {
+                    crate::drivers::drain_dslash(
+                        &mut stats,
+                        space.op.dslash_counters(),
+                        &mut baseline,
+                    );
+                    let n2 = space.norm2(&x).map_err(|e| (e, stats))?;
+                    Ok(WilsonSolveOutcome {
+                        stats,
+                        solution_norm2: n2,
+                        matvecs: space.matvec_count(),
+                        dirichlet_matvecs: space.dirichlet_matvecs(),
+                    })
+                }
+                Err(e) => {
+                    // Salvage what the failed rung actually did.
+                    let mut partial = SolveStats::new();
+                    partial.matvecs = space.matvec_count();
+                    partial.precond_matvecs = space.dirichlet_matvecs();
+                    crate::drivers::drain_dslash(
+                        &mut partial,
+                        space.op.dslash_counters(),
+                        &mut baseline,
+                    );
+                    Err((e, partial))
+                }
+            }
         }};
     }
     match rung {
         PrecisionRung::Double => {
-            let op = cast_wilson_op::<f64>(op64)?;
-            attempt!(EoWilsonSpace::new(op, comm)?, SchwarzMR::new(p.mr_steps), p.gcr)
+            let op = cast_wilson_op::<f64>(op64).map_err(fail)?;
+            attempt!(EoWilsonSpace::new(op, comm), SchwarzMR::new(p.mr_steps), p.gcr)
         }
         PrecisionRung::Single => {
-            let op = cast_wilson_op::<f32>(op64)?;
-            attempt!(EoWilsonSpace::new(op, comm)?, SchwarzMR::new(p.mr_steps), p.gcr)
+            let op = cast_wilson_op::<f32>(op64).map_err(fail)?;
+            attempt!(EoWilsonSpace::new(op, comm), SchwarzMR::new(p.mr_steps), p.gcr)
         }
         PrecisionRung::Half => {
-            let op = cast_wilson_op::<f32>(op64)?;
+            let op = cast_wilson_op::<f32>(op64).map_err(fail)?;
             let mut params = p.gcr;
             params.quantize_krylov = true;
             attempt!(
-                EoWilsonSpace::new(op, comm)?.with_half_storage(),
+                EoWilsonSpace::new(op, comm).map(|s| s.with_half_storage()),
                 SchwarzMR::new(p.mr_steps).quantized(),
                 params
             )
@@ -440,7 +479,9 @@ fn supervised_body<C: Communicator>(
     start: PrecisionRung,
     sup: &SupervisorConfig,
     resume_gen: Option<u64>,
+    prior: Duration,
 ) -> Result<WilsonSolveOutcome> {
+    let body_started = Instant::now();
     let shared = SharedComm::new(comm);
     let rank = shared.rank();
     let op64 = p.build_operator(&mut shared.clone(), g)?;
@@ -485,6 +526,10 @@ fn supervised_body<C: Communicator>(
     let mut written = 0usize;
     let mut rung = start;
     let mut fallbacks = 0usize;
+    // Salvaged work of failed rungs, folded into the final record (the
+    // attempts drain their counters as deltas, so each apply is counted
+    // exactly once).
+    let mut carried = SolveStats::new();
     loop {
         match supervised_attempt(
             p,
@@ -497,8 +542,10 @@ fn supervised_body<C: Communicator>(
             template,
             &mut next_generation,
             &mut written,
+            prior + body_started.elapsed(),
         ) {
             Ok(mut out) => {
+                out.stats.absorb(&carried);
                 out.stats.precision_fallbacks = fallbacks;
                 out.stats.exchange_retries = shared.exchange_retries();
                 out.stats.faults_survived = shared.faults_survived();
@@ -506,14 +553,15 @@ fn supervised_body<C: Communicator>(
                 out.stats.resumed_from_checkpoint = resume64.is_some();
                 return Ok(out);
             }
-            Err(e) if crate::drivers::recoverable(&e) => match rung.escalate() {
+            Err((e, partial)) if crate::drivers::recoverable(&e) => match rung.escalate() {
                 Some(next) => {
+                    carried.absorb(&partial);
                     fallbacks += 1;
                     rung = next;
                 }
                 None => return Err(e),
             },
-            Err(e) => return Err(e),
+            Err((e, _)) => return Err(e),
         }
     }
 }
@@ -543,16 +591,30 @@ where
     let flatten = |r: Result<Result<WilsonSolveOutcome>>| r.and_then(|inner| inner);
     let mut resumed_generations = Vec::new();
     let mut attempt = 0usize;
+    // Wall time earlier world launches spent solving (backoff sleeps
+    // excluded): the watchdog's wall-clock budget covers the logical
+    // solve, so a supervised restart must not reset the clock.
+    let mut consumed = Duration::ZERO;
+    // Control-plane events (launches, failures, backoffs) land on their
+    // own pseudo-rank track; rank threads install their own scopes.
+    let _ctl = trace::rank_scope(trace::CONTROL_RANK);
     loop {
         let resume_gen = common_generation(&sup.dir, num_ranks, sup.keep);
         resumed_generations.push(resume_gen);
+        trace::instant(
+            trace::Track::Supervisor,
+            if resume_gen.is_some() { "world_launch_resumed" } else { "world_launch_fresh" },
+            attempt as i64,
+        );
         let p = problem.clone();
         let g = grid.clone();
+        let prior = consumed;
+        let launched = Instant::now();
         let outcomes: Vec<Result<WilsonSolveOutcome>> = match plan_for_attempt(attempt) {
             Some(plan) => {
                 let comms = FaultyComm::world(grid.clone(), config, plan);
                 run_world_fallible(comms, |comm| {
-                    supervised_body(&p, &g, comm, start, sup, resume_gen)
+                    supervised_body(&p, &g, comm, start, sup, resume_gen, prior)
                 })
                 .into_iter()
                 .map(flatten)
@@ -561,15 +623,21 @@ where
             None => {
                 let comms = ThreadedComm::world_with(grid.clone(), config);
                 run_world_fallible(comms, |comm| {
-                    supervised_body(&p, &g, comm, start, sup, resume_gen)
+                    supervised_body(&p, &g, comm, start, sup, resume_gen, prior)
                 })
                 .into_iter()
                 .map(flatten)
                 .collect()
             }
         };
+        consumed += launched.elapsed();
         let all_ok = outcomes.iter().all(|r| r.is_ok());
         if all_ok || attempt >= sup.max_restarts {
+            trace::instant(
+                trace::Track::Supervisor,
+                if all_ok { "supervision_converged" } else { "supervision_exhausted" },
+                attempt as i64,
+            );
             let mut outcomes = outcomes;
             for out in outcomes.iter_mut().flatten() {
                 out.stats.supervisor_restarts = attempt;
@@ -577,8 +645,10 @@ where
             return SupervisedOutcome { outcomes, attempts: attempt + 1, resumed_generations };
         }
         attempt += 1;
+        trace::instant(trace::Track::Supervisor, "world_failed", attempt as i64);
         let doubling = 1u32 << (attempt - 1).min(16) as u32;
         let delay = sup.backoff.saturating_mul(doubling).min(sup.backoff_max);
+        let _backoff = trace::span_arg(trace::Track::Supervisor, "backoff", attempt as i64);
         std::thread::sleep(delay);
     }
 }

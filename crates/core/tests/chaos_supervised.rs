@@ -131,6 +131,40 @@ fn death_before_any_checkpoint_restarts_from_scratch() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Regression for the per-attempt wall-clock reset: the watchdog budget
+/// covers the *logical* solve, so a solve that exhausts it across two
+/// supervised attempts must break down with `WallClock` — not get a
+/// fresh budget per world launch. Attempt 0 burns well past the budget
+/// (a 500 ms rank stall against a 200 ms budget); with the carry in
+/// place, attempt 1's watchdogs inherit that elapsed time and trip at
+/// their very first observation, deterministically.
+#[test]
+fn wall_clock_budget_spans_supervised_attempts() {
+    let (p, grid) = chaos_problem();
+    let dir = ckpt_dir("wall-clock-carry");
+    let config = CommConfig::resilient().with_timeout(Duration::from_secs(2));
+    let mut sup = SupervisorConfig::new(&dir);
+    sup.max_restarts = 1;
+    sup.watchdog.wall_clock = Some(Duration::from_millis(200));
+    let out = run_wilson_gcr_dd_supervised(&p, grid, PrecisionRung::Double, config, &sup, |a| {
+        (a == 0).then(|| {
+            FaultPlan::new(77).with_rule(
+                FaultRule::stall_rank(Duration::from_millis(500)).on_rank(2).after(10).times(1),
+            )
+        })
+    });
+    assert_eq!(out.attempts, 2, "attempt 0 trips the budget, attempt 1 inherits it");
+    for (slot, r) in out.outcomes.iter().enumerate() {
+        match r {
+            Err(Error::Breakdown { kind: BreakdownKind::WallClock, .. }) => {}
+            other => panic!(
+                "rank {slot}: the carried budget must force a wall-clock breakdown, got {other:?}"
+            ),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// An exhausted restart budget surfaces the underlying failure instead
 /// of looping forever: with `max_restarts = 0` and a watchdog wall-clock
 /// budget of zero, every rank reports the structured wall-clock

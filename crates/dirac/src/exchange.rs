@@ -28,7 +28,7 @@
 use lqcd_comms::{Communicator, ExchangeHandle};
 use lqcd_field::{GhostZonesMut, LatticeField, SiteObject};
 use lqcd_lattice::{FaceGeometry, NDIM};
-use lqcd_util::{Error, Real, Result};
+use lqcd_util::{trace, Error, Real, Result};
 
 /// Persistent staging buffers for one operator's ghost exchanges,
 /// indexed `[mu][dir]` with `dir = 0` for the low-face (backward) send
@@ -68,6 +68,7 @@ pub fn post_ghost_sends<R: Real, S: SiteObject<R>, C: Communicator>(
     comm: &mut C,
     bufs: &mut ExchangeBuffers<R>,
 ) -> Result<PendingGhosts> {
+    let _sp = trace::span(trace::Track::Gather, "post_ghost_sends");
     let sub = field.sublattice();
     let parity = field.parity();
     let mut pending = PendingGhosts::default();
@@ -101,6 +102,7 @@ pub fn complete_ghost_dim<R: Real, C: Communicator>(
     comm: &mut C,
     bufs: &mut ExchangeBuffers<R>,
 ) -> Result<()> {
+    let _sp = trace::span_arg(trace::Track::Comm, "complete_ghost_dim", mu as i64);
     for dir in 0..2 {
         let Some(handle) = pending.handles[mu][dir].take() else {
             return Err(Error::Comms(format!(

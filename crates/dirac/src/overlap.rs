@@ -37,9 +37,12 @@ pub struct DslashCounters {
 
 impl DslashCounters {
     /// Fraction of wall time *not* lost to exposed communication, or
-    /// `None` before any apply.
+    /// `None` before any apply. Clamped to `[0, 1]`: counters absorbed
+    /// from sequential (non-overlapped) applies can carry more exposed
+    /// comm time than the overlapped wall time they are folded into.
     pub fn overlap_efficiency(&self) -> Option<f64> {
-        (self.total_ns > 0).then(|| 1.0 - self.exposed_comm_ns as f64 / self.total_ns as f64)
+        (self.applies > 0 && self.total_ns > 0)
+            .then(|| (1.0 - self.exposed_comm_ns as f64 / self.total_ns as f64).clamp(0.0, 1.0))
     }
 
     /// Merge another counter set into this one.

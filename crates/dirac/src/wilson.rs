@@ -18,7 +18,7 @@ use lqcd_field::{blas, BodyView, LatticeField, SiteObject};
 use lqcd_gauge::GaugeField;
 use lqcd_lattice::{FaceGeometry, Neighbor, Parity, SubLattice, NDIM};
 use lqcd_su3::{CloverSite, Projector, WilsonSpinor};
-use lqcd_util::{Error, Real, Result};
+use lqcd_util::{trace, Error, Real, Result};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -181,6 +181,7 @@ impl<R: Real> WilsonCloverOp<R> {
         mode: BoundaryMode,
     ) -> Result<()> {
         self.check_geometry(out, src)?;
+        let traced = trace::is_enabled();
         let apply_t = Instant::now();
         let mut guard = self.overlap.lock().unwrap();
         let OverlapPipeline { bufs, counters, threads } = &mut *guard;
@@ -200,6 +201,8 @@ impl<R: Real> WilsonCloverOp<R> {
         // zones) so the exterior kernels can reborrow it whole below.
         let out_parity = out.parity();
         let src_parity = src.parity();
+        let post_end_ns = if traced { trace::now_ns() } else { 0 };
+        let mut comm_done_ns = post_end_ns;
         let (interior_ns, wall_ns) = {
             let (src_view, mut zones) = src.body_and_ghosts_mut();
             let kernel = |chunk: &mut [R], lo_site: usize| {
@@ -217,11 +220,35 @@ impl<R: Real> WilsonCloverOp<R> {
                                 complete_ghost_dim(&mut pending, mu, &mut zones, comm, bufs)?;
                             }
                         }
+                        if traced {
+                            comm_done_ns = trace::now_ns();
+                        }
                     }
                     Ok(())
                 },
             )?
         };
+        if traced {
+            // The interior kernel ran on worker threads between the post
+            // and now; reconstruct its span retroactively so the trace
+            // shows it overlapping the in-flight exchange.
+            trace::span_at(
+                trace::Track::Interior,
+                "interior",
+                post_end_ns,
+                post_end_ns + interior_ns,
+                *threads as i64,
+            );
+            if exchange {
+                trace::span_at(
+                    trace::Track::Comm,
+                    "exchange_inflight",
+                    post_end_ns,
+                    comm_done_ns,
+                    0,
+                );
+            }
+        }
 
         // Stage 3: exterior kernels, fixed ascending-µ order (corner
         // sites accumulate across dimensions — §6.2).
@@ -229,6 +256,7 @@ impl<R: Real> WilsonCloverOp<R> {
         if exchange {
             for mu in 0..NDIM {
                 if self.sub.partitioned[mu] {
+                    let _sp = trace::span_arg(trace::Track::Exterior, "exterior", mu as i64);
                     self.dslash_exterior(out, src, mu);
                 }
             }

@@ -21,7 +21,7 @@
 use crate::mr::mr as mr_steps;
 use crate::space::{DirichletMatvec, SolveStats, SolverSpace};
 use crate::watchdog::{NullMonitor, SolveMonitor};
-use lqcd_util::{BreakdownKind, Complex, Error, Result};
+use lqcd_util::{trace, BreakdownKind, Complex, Error, Result};
 
 /// Tunables of the GCR solver.
 #[derive(Clone, Copy, Debug)]
@@ -141,6 +141,7 @@ impl<'a, S: DirichletMatvec> SolverSpace for DirichletView<'a, S> {
 
 impl<S: DirichletMatvec> Preconditioner<S> for SchwarzMR {
     fn apply(&mut self, space: &mut S, out: &mut S::V, r: &S::V) -> Result<()> {
+        let _sp = trace::span_arg(trace::Track::Precond, "schwarz_mr", self.steps as i64);
         space.zero(out);
         let mut view = DirichletView(space);
         if self.quantize {
@@ -245,6 +246,7 @@ pub fn gcr_monitored<S: SolverSpace, P: Preconditioner<S>, M: SolveMonitor<S>>(
             stats.converged = true;
             break;
         }
+        let _iter_sp = trace::span_arg(trace::Track::Solver, "gcr_iter", stats.iterations as i64);
         // p̂_k = K r̂_k ; ẑ_k = A p̂_k.
         precond.apply(space, &mut p[k], &r_hat)?;
         if params.quantize_krylov {
@@ -329,6 +331,7 @@ pub fn gcr_monitored<S: SolverSpace, P: Preconditioner<S>, M: SolveMonitor<S>>(
             space.quantize(&mut r_hat);
             k = 0;
             stats.restarts += 1;
+            trace::instant(trace::Track::Solver, "gcr_restart", stats.restarts as i64);
             monitor.at_restart(space, x, &stats, r0_norm / bnorm)?;
         }
     }

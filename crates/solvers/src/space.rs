@@ -87,10 +87,46 @@ impl SolveStats {
     }
 
     /// Fraction of dslash wall time *not* lost to exposed communication
-    /// (`1 − exposed/total`), or `None` if no applies were counted.
+    /// (`1 − exposed/total`), or `None` if no overlapped applies
+    /// contributed. Clamped to `[0, 1]`: records folded via [`absorb`]
+    /// can interleave sequential applies (full comm time, no overlap
+    /// credit) with overlapped ones, pushing the raw ratio outside the
+    /// meaningful range.
+    ///
+    /// [`absorb`]: SolveStats::absorb
     pub fn overlap_efficiency(&self) -> Option<f64> {
-        (self.dslash_total_ns > 0)
-            .then(|| 1.0 - self.dslash_exposed_comm_ns as f64 / self.dslash_total_ns as f64)
+        (self.dslash_applies > 0 && self.dslash_total_ns > 0).then(|| {
+            (1.0 - self.dslash_exposed_comm_ns as f64 / self.dslash_total_ns as f64).clamp(0.0, 1.0)
+        })
+    }
+
+    /// Publish this record into a named-metric registry — the facade
+    /// that maps the legacy scalar plumbing onto `lqcd_util::trace`'s
+    /// [`MetricsRegistry`]. Counters are cumulative adds (so absorbing
+    /// many rank records into one registry aggregates); ratios land as
+    /// histogram samples.
+    ///
+    /// [`MetricsRegistry`]: lqcd_util::trace::MetricsRegistry
+    pub fn publish(&self, reg: &mut lqcd_util::trace::MetricsRegistry) {
+        reg.add("solve.iterations", self.iterations as u64);
+        reg.add("solve.matvecs", self.matvecs as u64);
+        reg.add("solve.precond_matvecs", self.precond_matvecs as u64);
+        reg.add("solve.restarts", self.restarts as u64);
+        reg.add("solve.converged", self.converged as u64);
+        reg.add("solve.precision_fallbacks", self.precision_fallbacks as u64);
+        reg.add("comm.exchange_retries", self.exchange_retries);
+        reg.add("comm.faults_survived", self.faults_survived);
+        reg.add("checkpoint.written", self.checkpoints_written as u64);
+        reg.add("checkpoint.resumed", self.resumed_from_checkpoint as u64);
+        reg.add("supervisor.restarts", self.supervisor_restarts as u64);
+        reg.add("dslash.applies", self.dslash_applies);
+        reg.add("dslash.total_ns", self.dslash_total_ns);
+        reg.add("dslash.interior_ns", self.dslash_interior_ns);
+        reg.add("dslash.exposed_comm_ns", self.dslash_exposed_comm_ns);
+        reg.record("solve.residual", self.residual);
+        if let Some(eff) = self.overlap_efficiency() {
+            reg.record("dslash.overlap_efficiency", eff);
+        }
     }
 }
 
@@ -398,6 +434,67 @@ impl DirichletMatvec for DenseDdSpace {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn overlap_efficiency_is_clamped_and_gated_on_applies() {
+        // No applies at all → no meaningful efficiency, even if stray
+        // nanoseconds were absorbed from somewhere.
+        let mut s = SolveStats::new();
+        assert_eq!(s.overlap_efficiency(), None);
+        s.dslash_total_ns = 500;
+        assert_eq!(s.overlap_efficiency(), None, "zero applies must yield None");
+
+        // Regression: a record absorbing sequential applies can carry
+        // exposed_comm_ns > total_ns; the ratio must clamp to 0, never
+        // go negative.
+        let mut seq = SolveStats::new();
+        seq.dslash_applies = 4;
+        seq.dslash_total_ns = 1_000;
+        seq.dslash_exposed_comm_ns = 3_000;
+        assert_eq!(seq.overlap_efficiency(), Some(0.0));
+
+        // Fully hidden comm stays exactly 1.
+        let mut hidden = SolveStats::new();
+        hidden.dslash_applies = 2;
+        hidden.dslash_total_ns = 1_000;
+        hidden.dslash_exposed_comm_ns = 0;
+        assert_eq!(hidden.overlap_efficiency(), Some(1.0));
+
+        // A partial overlap is reported untouched.
+        let mut partial = SolveStats::new();
+        partial.dslash_applies = 1;
+        partial.dslash_total_ns = 1_000;
+        partial.dslash_exposed_comm_ns = 250;
+        assert_eq!(partial.overlap_efficiency(), Some(0.75));
+
+        // Absorbing the pathological record into the healthy one keeps
+        // the folded efficiency in range.
+        hidden.absorb(&seq);
+        let eff = hidden.overlap_efficiency().unwrap();
+        assert!((0.0..=1.0).contains(&eff), "folded efficiency {eff} out of range");
+    }
+
+    #[test]
+    fn solve_stats_publish_lands_in_registry() {
+        let mut s = SolveStats::new();
+        s.iterations = 12;
+        s.matvecs = 13;
+        s.dslash_applies = 26;
+        s.dslash_total_ns = 1_000;
+        s.dslash_exposed_comm_ns = 100;
+        s.converged = true;
+        s.residual = 1e-9;
+        let mut reg = lqcd_util::trace::MetricsRegistry::new();
+        s.publish(&mut reg);
+        s.publish(&mut reg); // counters aggregate across publishes
+        assert_eq!(reg.counter("solve.iterations"), 24);
+        assert_eq!(reg.counter("dslash.applies"), 52);
+        assert_eq!(reg.counter("solve.converged"), 2);
+        let h = reg.histogram("dslash.overlap_efficiency").unwrap();
+        assert_eq!(h.count, 2);
+        assert!((h.mean() - 0.9).abs() < 1e-12);
+        assert!(reg.text_report().contains("solve.matvecs"));
+    }
 
     #[test]
     fn dense_matvec_identity() {

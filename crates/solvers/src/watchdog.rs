@@ -89,6 +89,10 @@ pub struct SolveWatchdog {
     config: WatchdogConfig,
     solver: &'static str,
     started: Instant,
+    /// Wall time consumed by earlier attempts of the same logical solve
+    /// (supervised restarts); counted against the budget alongside this
+    /// attempt's own clock.
+    consumed: Duration,
     best: f64,
     since_best: usize,
 }
@@ -96,12 +100,32 @@ pub struct SolveWatchdog {
 impl SolveWatchdog {
     /// A watchdog for `solver` (the name lands in breakdown reports).
     pub fn new(solver: &'static str, config: WatchdogConfig) -> Self {
-        Self { config, solver, started: Instant::now(), best: f64::INFINITY, since_best: 0 }
+        Self::resumed(solver, config, Duration::ZERO)
     }
 
-    /// Time since construction.
+    /// A watchdog resuming a solve that already consumed
+    /// `already_elapsed` of its wall-clock budget in earlier attempts —
+    /// the budget covers the *logical* solve, not each attempt, so a
+    /// supervised restart must not reset the clock.
+    pub fn resumed(
+        solver: &'static str,
+        config: WatchdogConfig,
+        already_elapsed: Duration,
+    ) -> Self {
+        Self {
+            config,
+            solver,
+            started: Instant::now(),
+            consumed: already_elapsed,
+            best: f64::INFINITY,
+            since_best: 0,
+        }
+    }
+
+    /// Wall time attributed to the logical solve: earlier attempts'
+    /// carry plus time since this watchdog's construction.
     pub fn elapsed(&self) -> Duration {
-        self.started.elapsed()
+        self.consumed + self.started.elapsed()
     }
 
     /// Best relative residual seen so far.
@@ -121,7 +145,7 @@ impl SolveWatchdog {
             );
         }
         if let Some(budget) = self.config.wall_clock {
-            let elapsed = self.started.elapsed();
+            let elapsed = self.elapsed();
             if elapsed > budget {
                 return breakdown(
                     BreakdownKind::WallClock,
@@ -238,6 +262,25 @@ mod tests {
         let mut w = SolveWatchdog::new("test", cfg);
         std::thread::sleep(Duration::from_millis(2));
         assert_eq!(kind(w.check(0, 0.5)), BreakdownKind::WallClock);
+    }
+
+    #[test]
+    fn resumed_watchdog_counts_prior_attempts_against_the_budget() {
+        // Regression: the wall-clock budget covers the whole logical
+        // solve. A watchdog resumed with carried elapsed time must trip
+        // even though *this* attempt just started.
+        let cfg = WatchdogConfig { wall_clock: Some(Duration::from_secs(1)), ..Default::default() };
+        let mut w = SolveWatchdog::resumed("test", cfg, Duration::from_secs(2));
+        assert_eq!(kind(w.check(0, 0.5)), BreakdownKind::WallClock);
+        assert!(w.elapsed() >= Duration::from_secs(2));
+
+        // Carry below the budget does not trip.
+        let mut fresh = SolveWatchdog::resumed("test", cfg, Duration::from_millis(1));
+        fresh.check(0, 0.5).unwrap();
+
+        // `new` is the zero-carry special case.
+        let mut zero = SolveWatchdog::new("test", cfg);
+        zero.check(0, 0.5).unwrap();
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod half;
 pub mod real;
 pub mod rng;
 pub mod stats;
+pub mod trace;
 
 pub use checkpoint::{ByteReader, Checkpoint, CheckpointStore};
 pub use checksum::{crc64, Crc64};

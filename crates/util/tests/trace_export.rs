@@ -1,0 +1,79 @@
+//! Parse the Chrome `trace_event` export back through the JSON parser
+//! and verify the structural contract: the `{"traceEvents": [...]}`
+//! object form, metadata naming every rank process, and B/E balance on
+//! every (pid, tid) — including a buffer truncated mid-span (a dying
+//! rank), which the exporter must repair by closing the stray `B`.
+
+use lqcd_util::trace;
+use std::collections::HashMap;
+
+#[test]
+fn exported_chrome_trace_parses_and_every_b_matches_an_e() {
+    trace::clear();
+    trace::enable();
+    {
+        let _scope = trace::rank_scope(0);
+        {
+            let _outer = trace::span(trace::Track::Solver, "gcr_iter");
+            let _inner = trace::span_arg(trace::Track::Precond, "schwarz_mr", 4);
+            trace::instant(trace::Track::Comm, "send_exchange", 1);
+        }
+        trace::counter(trace::Track::Solver, "residual", 0.5);
+    }
+    {
+        // A rank whose recorder died mid-span: the span guard is leaked,
+        // so its `End` is never recorded and the exporter must repair.
+        let _scope = trace::rank_scope(1);
+        trace::span_at(trace::Track::Interior, "interior", 10, 2000, 0);
+        std::mem::forget(trace::span(trace::Track::Comm, "allreduce"));
+    }
+    trace::disable();
+
+    let ranks = trace::take();
+    assert_eq!(ranks.len(), 2, "two rank scopes flushed");
+    let json = trace::export_chrome_json(&ranks);
+    let v = serde_json::from_str(&json).expect("export must be valid JSON");
+    let events =
+        v.get("traceEvents").and_then(|e| e.as_array()).expect("export must use the object form");
+
+    let mut depth: HashMap<(i64, i64), i64> = HashMap::new();
+    let mut process_names = Vec::new();
+    let mut begins = 0;
+    let mut ends = 0;
+    for e in events {
+        let ph = e.get("ph").and_then(|p| p.as_str()).expect("every event has a phase");
+        let pid = e.get("pid").and_then(|p| p.as_i64()).expect("every event has a pid");
+        match ph {
+            "M" => {
+                if e.get("name").and_then(|n| n.as_str()) == Some("process_name") {
+                    let name = e
+                        .get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(|n| n.as_str())
+                        .expect("process_name metadata carries args.name");
+                    process_names.push(name.to_string());
+                }
+            }
+            "B" | "E" => {
+                let tid = e.get("tid").and_then(|t| t.as_i64()).expect("tid");
+                let d = depth.entry((pid, tid)).or_default();
+                if ph == "B" {
+                    begins += 1;
+                    *d += 1;
+                } else {
+                    ends += 1;
+                    *d -= 1;
+                    assert!(*d >= 0, "E without B on pid {pid} tid {tid}");
+                }
+            }
+            "i" | "C" => {}
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    for ((pid, tid), d) in depth {
+        assert_eq!(d, 0, "pid {pid} tid {tid} finished with {d} unclosed span(s)");
+    }
+    assert_eq!(begins, ends, "every B must have a matching E");
+    assert!(begins >= 4, "outer, inner, interior, and the repaired span");
+    assert_eq!(process_names, vec!["rank 0".to_string(), "rank 1".to_string()]);
+}
