@@ -7,7 +7,7 @@
 //! * MR-step count in the Schwarz preconditioner;
 //! * GCR restart length (kmax).
 
-use lqcd_bench::write_artifact;
+use lqcd_bench::BenchArgs;
 use lqcd_lattice::{Dims, PartitionScheme};
 use lqcd_perf::cost::{OpConfig, PartitionGeometry};
 use lqcd_perf::solver_model::{gcr_dd_solve, WilsonIterModel};
@@ -22,6 +22,7 @@ struct AblationRow {
 }
 
 fn main() {
+    let args = BenchArgs::parse();
     let mut rows = Vec::new();
     let volume = Dims::symm(32, 256);
     let sp = OpConfig {
@@ -93,5 +94,5 @@ fn main() {
         });
     }
 
-    write_artifact("ablations", &rows);
+    args.write_primary("ablations", &rows);
 }

@@ -10,10 +10,10 @@
 //! aggregated text report. Tracing adds a little overhead per stage, so
 //! the measured numbers of a traced run are not comparison-grade.
 
-use lqcd_bench::{artifact_dir, write_artifact};
+use lqcd_bench::{artifact_dir, BenchArgs};
 use lqcd_comms::{run_on_grid, Communicator};
 use lqcd_core::problem::WilsonProblem;
-use lqcd_dirac::{BoundaryMode, DslashCounters};
+use lqcd_dirac::{BoundaryMode, DslashCounters, OverlapHost};
 use lqcd_lattice::{Dims, ProcessGrid};
 use lqcd_perf::cost::{OpConfig, PartitionGeometry};
 use lqcd_perf::{edge, simulate_dslash, OperatorKind, Precision, Recon};
@@ -109,7 +109,8 @@ fn validate_trace(json: &str) {
 }
 
 fn main() {
-    let traced = std::env::args().any(|a| a == "--trace");
+    let args = BenchArgs::parse();
+    let traced = args.trace;
     if traced {
         trace::enable();
     }
@@ -118,7 +119,8 @@ fn main() {
     let grid = ProcessGrid::new(shape, p.global).expect("grid");
     let ranks = grid.num_ranks();
     let applies = 50usize;
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(4);
+    let threads =
+        args.threads_or(std::thread::available_parallelism().map_or(1, |n| n.get()).min(4));
 
     let pb = p.clone();
     let g = grid.clone();
@@ -236,7 +238,7 @@ fn main() {
     } else {
         println!("  RESULT: WARNING overlapped slower than sequential ({:.2}x)", report.speedup);
     }
-    write_artifact("BENCH_dslash", &report);
+    args.write_primary("BENCH_dslash", &report);
 
     if traced {
         trace::disable();

@@ -1,11 +1,12 @@
 //! Regenerate Fig. 10: asqtad mixed-precision multi-shift solver total
 //! Tflops by partitioning (V = 64³×192, 64→256 GPUs).
 
-use lqcd_bench::{paper, write_artifact};
+use lqcd_bench::{paper, BenchArgs};
 use lqcd_perf::solver_model::StaggeredIterModel;
 use lqcd_perf::{edge, sweep};
 
 fn main() {
+    let args = BenchArgs::parse();
     let model = edge();
     let im = StaggeredIterModel::default();
     let pts = sweep::fig10(&model, &im).expect("fig10 sweep");
@@ -33,5 +34,5 @@ fn main() {
         paper::KRAKEN_GFLOPS,
         xyzt(256) * 1000.0 / 256.0 / (paper::KRAKEN_GFLOPS / 4096.0)
     );
-    write_artifact("fig10", &pts);
+    args.write_primary("fig10", &pts);
 }

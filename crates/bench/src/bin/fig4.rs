@@ -8,7 +8,7 @@
 //! form) so the measured per-rank stream timeline can be eyeballed next
 //! to the model's schedule.
 
-use lqcd_bench::{artifact_dir, write_artifact};
+use lqcd_bench::{artifact_dir, BenchArgs};
 use lqcd_lattice::{Dims, PartitionScheme};
 use lqcd_perf::cost::{OpConfig, PartitionGeometry};
 use lqcd_perf::{edge, simulate_dslash, OperatorKind, Precision, Recon};
@@ -49,7 +49,8 @@ fn traced_measurement() {
 }
 
 fn main() {
-    let traced = std::env::args().any(|a| a == "--trace");
+    let args = BenchArgs::parse();
+    let traced = args.trace;
     let model = edge();
     let cfg = OpConfig {
         kind: OperatorKind::WilsonClover,
@@ -82,7 +83,7 @@ fn main() {
          (§6.3) — visible in the growing idle column."
     );
     println!("Run `cargo run --release --example stream_timeline -- <gpus>` for the ASCII chart.");
-    write_artifact("fig4", &artifacts);
+    args.write_primary("fig4", &artifacts);
     if traced {
         traced_measurement();
     }

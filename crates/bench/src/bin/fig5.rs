@@ -1,10 +1,11 @@
 //! Regenerate Fig. 5: Wilson-clover dslash strong scaling (SP/HP,
 //! V = 32³×256, 12-reconstruct, 8→256 GPUs) — paper vs model.
 
-use lqcd_bench::{paper, write_artifact};
+use lqcd_bench::{paper, BenchArgs};
 use lqcd_perf::{edge, sweep};
 
 fn main() {
+    let args = BenchArgs::parse();
     let model = edge();
     let pts = sweep::fig5(&model).expect("fig5 sweep");
     println!("Fig. 5 — Wilson-clover dslash, V = 32³×256, 12-recon, Gflops/GPU");
@@ -35,5 +36,5 @@ fn main() {
         ratio("HP", 8) / ratio("SP", 8),
         ratio("HP", 256) / ratio("SP", 256)
     );
-    write_artifact("fig5", &pts);
+    args.write_primary("fig5", &pts);
 }

@@ -1,10 +1,11 @@
 //! Regenerate Fig. 6: asqtad dslash strong scaling by partitioning
 //! scheme (DP/SP, V = 64³×192, no reconstruction, 32→256 GPUs).
 
-use lqcd_bench::write_artifact;
+use lqcd_bench::BenchArgs;
 use lqcd_perf::{edge, sweep};
 
 fn main() {
+    let args = BenchArgs::parse();
     let model = edge();
     let pts = sweep::fig6(&model).expect("fig6 sweep");
     println!("Fig. 6 — asqtad dslash, V = 64³×192, Gflops/GPU by partitioning");
@@ -31,5 +32,5 @@ fn main() {
             }
         );
     }
-    write_artifact("fig6", &pts);
+    args.write_primary("fig6", &pts);
 }

@@ -1,11 +1,12 @@
 //! Regenerate Fig. 7: sustained solver Tflops, mixed-precision BiCGstab
 //! vs GCR-DD (V = 32³×256, 10 MR steps in the preconditioner).
 
-use lqcd_bench::{paper, write_artifact};
+use lqcd_bench::{paper, BenchArgs};
 use lqcd_perf::solver_model::WilsonIterModel;
 use lqcd_perf::{edge, sweep};
 
 fn main() {
+    let args = BenchArgs::parse();
     let model = edge();
     let im = WilsonIterModel::default();
     let pts = sweep::fig7_fig8(&model, &im).expect("fig7 sweep");
@@ -36,5 +37,5 @@ fn main() {
             if gpus == 128 { "9.95" } else { "11.5" }
         );
     }
-    write_artifact("fig7", &pts);
+    args.write_primary("fig7", &pts);
 }

@@ -1,11 +1,12 @@
 //! Regenerate Fig. 8: time to solution, BiCGstab vs GCR-DD — the
 //! paper's headline result (GCR-DD wins past 32 GPUs by 1.52×–1.64×).
 
-use lqcd_bench::{paper, write_artifact};
+use lqcd_bench::{paper, BenchArgs};
 use lqcd_perf::solver_model::WilsonIterModel;
 use lqcd_perf::{edge, sweep};
 
 fn main() {
+    let args = BenchArgs::parse();
     let model = edge();
     let im = WilsonIterModel::default();
     let pts = sweep::fig7_fig8(&model, &im).expect("fig8 sweep");
@@ -32,5 +33,5 @@ fn main() {
     }
     println!("\n(paper quotes improvement factors 1.52x / 1.63x / 1.64x at 64 / 128 / 256 GPUs;");
     println!(" crossover between 32 and 64 GPUs — 'at 32 GPUs BiCGstab is a superior solver')");
-    write_artifact("fig8", &pts);
+    args.write_primary("fig8", &pts);
 }

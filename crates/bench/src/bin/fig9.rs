@@ -2,10 +2,11 @@
 //! Tflops of BG/P, XT4 and XT5 on the same 32³×256 volume, placing the
 //! GPU results against contemporary leadership systems.
 
-use lqcd_bench::write_artifact;
+use lqcd_bench::BenchArgs;
 use lqcd_perf::sweep;
 
 fn main() {
+    let args = BenchArgs::parse();
     let pts = sweep::fig9();
     println!("Fig. 9 — capability machines, V = 32³×256, sustained solver Tflops");
     println!("{:>8} {:>16} {:>30} {:>10}", "cores", "machine", "solver", "Tflops");
@@ -21,5 +22,5 @@ fn main() {
         "GPU comparison: the GCR-DD solves reach >10 Tflops on 128 GPUs (Fig. 7) — 'on par \
          with capability-class systems'."
     );
-    write_artifact("fig9", &pts);
+    args.write_primary("fig9", &pts);
 }

@@ -2,7 +2,7 @@
 //! measured-iteration calibration data that feeds the model. This is the
 //! binary EXPERIMENTS.md is produced from.
 
-use lqcd_bench::{paper, write_artifact};
+use lqcd_bench::{paper, write_artifact, BenchArgs};
 use lqcd_core::calibration::{fit_block_exponent, measure_dd_block_dependence};
 use lqcd_core::WilsonProblem;
 use lqcd_perf::solver_model::{StaggeredIterModel, WilsonIterModel};
@@ -13,6 +13,10 @@ fn section(title: &str) {
 }
 
 fn main() {
+    // Multi-artifact bin: the flags parse for consistency, but there is
+    // no single primary artifact for --json to redirect — each figure
+    // keeps its standard target/figures/<name>.json location.
+    let _args = BenchArgs::parse();
     let model = edge();
     let im = WilsonIterModel::default();
     let sm = StaggeredIterModel::default();

@@ -13,7 +13,7 @@ use lqcd_comms::{
     run_on_grid, run_world_fallible, CommConfig, Communicator, FaultPlan, FaultyComm, SharedComm,
     ThreadedComm,
 };
-use lqcd_dirac::WilsonCloverOp;
+use lqcd_dirac::{OverlapHost, WilsonCloverOp};
 use lqcd_lattice::ProcessGrid;
 use lqcd_solvers::spaces::{cast_wilson_op, EoWilsonSpace, StaggeredNormalSpace};
 use lqcd_solvers::{

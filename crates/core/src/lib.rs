@@ -25,6 +25,7 @@ pub mod ensemble;
 pub mod observables;
 pub mod problem;
 pub mod supervise;
+pub mod tuning;
 
 pub use drivers::{
     run_staggered_multishift, run_wilson_bicgstab, run_wilson_gcr_dd, run_wilson_gcr_dd_resilient,
@@ -34,4 +35,7 @@ pub use problem::{StaggeredProblem, WilsonProblem};
 pub use supervise::{
     run_wilson_gcr_dd_supervised, CheckpointingMonitor, SolveCheckpointMeta, SupervisedOutcome,
     SupervisorConfig,
+};
+pub use tuning::{
+    run_staggered_multishift_tuned, run_wilson_gcr_dd_tuned, tune_wilson, WilsonTuneOutcome,
 };

@@ -39,7 +39,7 @@ use lqcd_comms::{
     run_world_fallible, CommConfig, Communicator, FaultPlan, FaultyComm, SharedComm, ThreadedComm,
 };
 use lqcd_dirac::wilson::SpinorField;
-use lqcd_dirac::WilsonCloverOp;
+use lqcd_dirac::{OverlapHost, WilsonCloverOp};
 use lqcd_field::snapshot::{decode_field_into, encode_field};
 use lqcd_lattice::{Parity, ProcessGrid};
 use lqcd_solvers::spaces::{cast_wilson_op, EoWilsonSpace};

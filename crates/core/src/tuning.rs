@@ -1,0 +1,415 @@
+//! Autotuning glue: real micro-trial runners for `lqcd-tune` and the
+//! tuned solver drivers.
+//!
+//! `lqcd-tune`'s [`Tuner`] is closure-based — it knows nothing about
+//! operators or communicators. This module supplies the closures: a
+//! dslash trial that launches a fresh in-process world per candidate
+//! partition scheme, applies the candidate's [`InteriorPolicy`], times
+//! the real overlapped pipeline (min-of-rounds behind barriers, max
+//! over ranks), and bit-compares one apply against the blocking
+//! reference path; and a GCR-DD trial that times whole preconditioned
+//! solves under candidate `mr_steps`/`n_kv`. On top sit
+//! [`tune_wilson`] (the two-phase dslash-then-solver search) and
+//! [`run_wilson_gcr_dd_tuned`] / [`run_staggered_multishift_tuned`],
+//! the drivers that accept a [`TunePolicy`] and stamp
+//! `SolveStats::tuned_config` with the fingerprint of whatever
+//! configuration actually ran. See DESIGN.md, "Autotuning".
+
+use crate::drivers::{record_dslash, StaggeredSolveOutcome, WilsonSolveOutcome};
+use crate::problem::{StaggeredProblem, WilsonProblem};
+use lqcd_comms::{run_on_grid, Communicator};
+use lqcd_dirac::{BoundaryMode, InteriorPolicy, OverlapHost};
+use lqcd_lattice::{PartitionScheme, ProcessGrid};
+use lqcd_solvers::spaces::{cast_wilson_op, EoWilsonSpace, StaggeredNormalSpace};
+use lqcd_solvers::{gcr, multishift_cg, SchwarzMR, SolverSpace};
+use lqcd_tune::{
+    LadderChoice, TrialOutcome, TuneCache, TuneKey, TuneParam, TunePolicy, TuneReport, Tuner,
+};
+use lqcd_util::trace::MetricsRegistry;
+use lqcd_util::Result;
+use std::time::Instant;
+
+/// The tune key of the Wilson-clover dslash phase.
+pub fn wilson_dslash_key(problem: &WilsonProblem, ranks: usize) -> TuneKey {
+    TuneKey::new("wilson_clover/dslash", problem.global, ranks)
+}
+
+/// The tune key of the Wilson-clover GCR-DD solver phase.
+pub fn wilson_solver_key(problem: &WilsonProblem, ranks: usize) -> TuneKey {
+    TuneKey::new("wilson_clover/gcr_dd", problem.global, ranks)
+}
+
+/// The tune key of the staggered (asqtad) dslash phase.
+pub fn staggered_dslash_key(problem: &StaggeredProblem, ranks: usize) -> TuneKey {
+    TuneKey::new("asqtad/dslash", problem.global, ranks)
+}
+
+/// `problem` with the solver axes of `param` applied (`mr_steps`,
+/// GCR restart length `kmax`).
+fn tuned_problem(problem: &WilsonProblem, param: &TuneParam) -> WilsonProblem {
+    let mut p = problem.clone();
+    p.mr_steps = param.mr_steps;
+    p.gcr.kmax = param.n_kv;
+    p
+}
+
+/// One dslash micro-trial: launch `param.scheme`'s world, apply the
+/// candidate interior policy, and measure the real overlapped pipeline.
+/// The trial unit is one dslash apply; the bitwise guard compares one
+/// overlapped apply against `dslash_sequential` on every rank.
+pub fn wilson_dslash_trial(
+    problem: &WilsonProblem,
+    ranks: usize,
+    tuner: &Tuner,
+    param: &TuneParam,
+) -> Result<TrialOutcome> {
+    let grid = param.scheme.grid(problem.global, ranks)?;
+    let policy = InteriorPolicy::new(param.interior_threads, param.ghost_order)?;
+    let p = problem.clone();
+    let g = grid.clone();
+    let (warmup, rounds, applies) = (tuner.warmup, tuner.rounds, tuner.applies);
+    let results = run_on_grid(grid, move |mut comm| -> Result<(f64, bool)> {
+        let op = p.build_operator(&mut comm, &g)?;
+        op.set_interior_policy(policy);
+        let mut src = p.rhs(&op);
+        let mut out = op.alloc(src.parity().other());
+        let mut reference = op.alloc(src.parity().other());
+        op.dslash_sequential(&mut reference, &mut src, &mut comm, BoundaryMode::Full)?;
+        op.dslash(&mut out, &mut src, &mut comm, BoundaryMode::Full)?;
+        let identical =
+            reference.body().iter().zip(out.body()).all(|(a, b)| a.to_bits() == b.to_bits());
+        for _ in 0..warmup {
+            op.dslash(&mut out, &mut src, &mut comm, BoundaryMode::Full)?;
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..rounds {
+            comm.barrier()?;
+            let t = Instant::now();
+            for _ in 0..applies {
+                op.dslash(&mut out, &mut src, &mut comm, BoundaryMode::Full)?;
+            }
+            comm.barrier()?;
+            let mut wall = [t.elapsed().as_secs_f64()];
+            comm.allreduce_max(&mut wall)?;
+            best = best.min(wall[0]);
+        }
+        Ok((best / applies as f64, identical))
+    });
+    let per_rank: Result<Vec<_>> = results.into_iter().collect();
+    let per_rank = per_rank?;
+    let bit_identical = per_rank.iter().all(|&(_, id)| id);
+    Ok(TrialOutcome { secs_per_unit: per_rank[0].0, bit_identical })
+}
+
+/// The staggered twin of [`wilson_dslash_trial`].
+pub fn staggered_dslash_trial(
+    problem: &StaggeredProblem,
+    ranks: usize,
+    tuner: &Tuner,
+    param: &TuneParam,
+) -> Result<TrialOutcome> {
+    let grid = param.scheme.grid(problem.global, ranks)?;
+    let policy = InteriorPolicy::new(param.interior_threads, param.ghost_order)?;
+    let p = problem.clone();
+    let g = grid.clone();
+    let (warmup, rounds, applies) = (tuner.warmup, tuner.rounds, tuner.applies);
+    let results = run_on_grid(grid, move |mut comm| -> Result<(f64, bool)> {
+        let op = p.build_operator(&g, comm.rank())?;
+        op.set_interior_policy(policy);
+        let mut src = p.rhs(&op);
+        let mut out = op.alloc(src.parity().other());
+        let mut reference = op.alloc(src.parity().other());
+        op.dslash_sequential(&mut reference, &mut src, &mut comm, BoundaryMode::Full)?;
+        op.dslash(&mut out, &mut src, &mut comm, BoundaryMode::Full)?;
+        let identical =
+            reference.body().iter().zip(out.body()).all(|(a, b)| a.to_bits() == b.to_bits());
+        for _ in 0..warmup {
+            op.dslash(&mut out, &mut src, &mut comm, BoundaryMode::Full)?;
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..rounds {
+            comm.barrier()?;
+            let t = Instant::now();
+            for _ in 0..applies {
+                op.dslash(&mut out, &mut src, &mut comm, BoundaryMode::Full)?;
+            }
+            comm.barrier()?;
+            let mut wall = [t.elapsed().as_secs_f64()];
+            comm.allreduce_max(&mut wall)?;
+            best = best.min(wall[0]);
+        }
+        Ok((best / applies as f64, identical))
+    });
+    let per_rank: Result<Vec<_>> = results.into_iter().collect();
+    let per_rank = per_rank?;
+    let bit_identical = per_rank.iter().all(|&(_, id)| id);
+    Ok(TrialOutcome { secs_per_unit: per_rank[0].0, bit_identical })
+}
+
+/// One GCR-DD micro-trial: whole preconditioned solves of `problem`
+/// under `param`'s solver axes. The trial unit is one solve. Exact
+/// bit-identity against a reference cannot hold here — different
+/// `mr_steps`/`n_kv` legitimately change the iterates — so the guard
+/// checks what *must* hold: every solve converges, all ranks agree
+/// bit-exactly on the global solution norm, and repeated solves of the
+/// same candidate are bit-identical run to run (the determinism the
+/// warm-cache contract relies on).
+pub fn wilson_gcr_trial(
+    problem: &WilsonProblem,
+    ranks: usize,
+    tuner: &Tuner,
+    param: &TuneParam,
+) -> Result<TrialOutcome> {
+    let grid = param.scheme.grid(problem.global, ranks)?;
+    let mut best = f64::INFINITY;
+    let mut sound = true;
+    let mut norms: Vec<f64> = Vec::new();
+    for i in 0..tuner.warmup + tuner.rounds * tuner.applies {
+        let t = Instant::now();
+        let out = solve_with_param(problem, grid.clone(), *param)?;
+        let wall = t.elapsed().as_secs_f64();
+        sound &= out.iter().all(|o| o.stats.converged);
+        let n0 = out[0].solution_norm2;
+        sound &= out.iter().all(|o| o.solution_norm2.to_bits() == n0.to_bits());
+        norms.push(n0);
+        if i >= tuner.warmup {
+            best = best.min(wall);
+        }
+    }
+    sound &= norms.windows(2).all(|w| w[0].to_bits() == w[1].to_bits());
+    Ok(TrialOutcome { secs_per_unit: best, bit_identical: sound })
+}
+
+/// The GCR-DD solve body under one full tuned configuration: candidate
+/// partition grid, interior policy, solver axes, and precision ladder.
+/// Stamps `stats.tuned_config` with the parameter fingerprint.
+fn solve_with_param(
+    problem: &WilsonProblem,
+    grid: ProcessGrid,
+    param: TuneParam,
+) -> Result<Vec<WilsonSolveOutcome>> {
+    let p = tuned_problem(problem, &param);
+    let g = grid.clone();
+    let policy = InteriorPolicy::new(param.interior_threads, param.ghost_order)?;
+    let fingerprint = param.fingerprint();
+    let ladder = param.ladder;
+    let results = run_on_grid(grid, move |mut comm| -> Result<WilsonSolveOutcome> {
+        let op = p.build_operator(&mut comm, &g)?;
+        // The policy is applied to `space.op` inside the macro: casting
+        // to a lower precision builds a fresh operator that would not
+        // inherit a policy set here.
+        macro_rules! solve {
+            ($space:expr, $precond:expr, $params:expr) => {{
+                let mut space = $space;
+                space.op.set_interior_policy(policy);
+                let b = p.rhs(&space.op);
+                let mut x = space.alloc();
+                let mut precond = $precond;
+                let mut stats = gcr(&mut space, &mut precond, &mut x, &b, &$params)?;
+                record_dslash(&mut stats, space.op.dslash_counters());
+                stats.tuned_config = fingerprint;
+                let n2 = space.norm2(&x)?;
+                Ok(WilsonSolveOutcome {
+                    stats,
+                    solution_norm2: n2,
+                    matvecs: space.matvec_count(),
+                    dirichlet_matvecs: space.dirichlet_matvecs(),
+                })
+            }};
+        }
+        match ladder {
+            LadderChoice::Double => {
+                solve!(EoWilsonSpace::new(op, comm)?, SchwarzMR::new(p.mr_steps), p.gcr)
+            }
+            LadderChoice::Single => {
+                let op32 = cast_wilson_op::<f32>(&op)?;
+                solve!(EoWilsonSpace::new(op32, comm)?, SchwarzMR::new(p.mr_steps), p.gcr)
+            }
+            LadderChoice::Half => {
+                let op32 = cast_wilson_op::<f32>(&op)?;
+                let mut params = p.gcr;
+                params.quantize_krylov = true;
+                solve!(
+                    EoWilsonSpace::new(op32, comm)?.with_half_storage(),
+                    SchwarzMR::new(p.mr_steps).quantized(),
+                    params
+                )
+            }
+        }
+    });
+    results.into_iter().collect()
+}
+
+/// Everything the two-phase Wilson tune produced.
+#[derive(Clone, Debug)]
+pub struct WilsonTuneOutcome {
+    /// Phase 1: partition scheme / interior threads / ghost completion
+    /// order, decided on dslash micro-trials.
+    pub dslash: TuneReport,
+    /// Phase 2: `mr_steps` / `n_kv`, decided on whole-solve trials
+    /// around the phase-1 winner.
+    pub solver: TuneReport,
+}
+
+impl WilsonTuneOutcome {
+    /// The fully tuned configuration (phase-2 winner, which carries the
+    /// phase-1 axes as its baseline).
+    pub fn best(&self) -> TuneParam {
+        self.solver.decision.param
+    }
+}
+
+/// Two-phase Wilson-clover tune: dslash axes first (scheme, threads,
+/// ghost completion order), then the solver axes around that winner.
+/// Each phase consults `cache` first — a warm cache runs zero trials.
+pub fn tune_wilson(
+    problem: &WilsonProblem,
+    ranks: usize,
+    max_threads: usize,
+    cache: &mut TuneCache,
+    metrics: &mut MetricsRegistry,
+) -> Result<WilsonTuneOutcome> {
+    let baseline = TuneParam::baseline(1);
+    let dslash_tuner = Tuner::dslash(baseline, max_threads);
+    let dslash =
+        dslash_tuner.tune(&wilson_dslash_key(problem, ranks), cache, metrics, |param| {
+            wilson_dslash_trial(problem, ranks, &dslash_tuner, param)
+        })?;
+    let solver_tuner = Tuner::solver(dslash.decision.param);
+    let solver =
+        solver_tuner.tune(&wilson_solver_key(problem, ranks), cache, metrics, |param| {
+            wilson_gcr_trial(problem, ranks, &solver_tuner, param)
+        })?;
+    Ok(WilsonTuneOutcome { dslash, solver })
+}
+
+/// Run a GCR-DD solve under a tuning policy. `Off` (or a cache miss
+/// under `Tuned`) runs the hardcoded defaults — ZT partitioning, the
+/// problem's own solver parameters — with `tuned_config` left 0;
+/// `Fixed`/`Tuned` apply the resolved [`TuneParam`] end to end.
+pub fn run_wilson_gcr_dd_tuned(
+    problem: &WilsonProblem,
+    ranks: usize,
+    policy: &TunePolicy,
+) -> Result<Vec<WilsonSolveOutcome>> {
+    let key = wilson_solver_key(problem, ranks);
+    match policy.resolve(&key)? {
+        Some(param) => {
+            let grid = param.scheme.grid(problem.global, ranks)?;
+            solve_with_param(problem, grid, param)
+        }
+        None => {
+            let grid = PartitionScheme::ZT.grid(problem.global, ranks)?;
+            crate::drivers::run_wilson_gcr_dd(problem, grid, false)
+        }
+    }
+}
+
+/// Run a staggered multi-shift solve under a tuning policy. Only the
+/// dslash axes apply (multishift CG has no Schwarz/GCR knobs), so the
+/// policy is resolved against the staggered *dslash* key.
+pub fn run_staggered_multishift_tuned(
+    problem: &StaggeredProblem,
+    ranks: usize,
+    policy: &TunePolicy,
+) -> Result<Vec<StaggeredSolveOutcome>> {
+    let key = staggered_dslash_key(problem, ranks);
+    let param = policy.resolve(&key)?;
+    let (scheme, fingerprint) = match &param {
+        Some(p) => (p.scheme, p.fingerprint()),
+        None => (PartitionScheme::ZT, 0),
+    };
+    let grid = scheme.grid(problem.global, ranks)?;
+    let policy = match &param {
+        Some(p) => InteriorPolicy::new(p.interior_threads, p.ghost_order)?,
+        None => InteriorPolicy::default(),
+    };
+    let p = problem.clone();
+    let g = grid.clone();
+    let results = run_on_grid(grid, move |comm| -> Result<StaggeredSolveOutcome> {
+        let rank = comm.rank();
+        let op = p.build_operator(&g, rank)?;
+        op.set_interior_policy(policy);
+        let mut space = StaggeredNormalSpace::new(op, comm);
+        let b = p.rhs(&space.op);
+        let mut ms = multishift_cg(&mut space, &p.shifts, &b, p.tol, p.maxiter)?;
+        record_dslash(&mut ms.stats, space.op.dslash_counters());
+        ms.stats.tuned_config = fingerprint;
+        let mut norms = Vec::with_capacity(ms.solutions.len());
+        for s in &ms.solutions {
+            norms.push(space.norm2(s)?);
+        }
+        Ok(StaggeredSolveOutcome {
+            stats: ms.stats,
+            converged_at: ms.converged_at,
+            solution_norms: norms,
+        })
+    });
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lqcd_tune::host_fingerprint;
+
+    fn quick_problem() -> WilsonProblem {
+        let mut p = WilsonProblem::small();
+        p.tol = 1e-6;
+        p.gcr.tol = 1e-6;
+        p
+    }
+
+    #[test]
+    fn off_policy_matches_the_plain_driver_bitwise() {
+        let p = quick_problem();
+        let grid = PartitionScheme::ZT.grid(p.global, 4).unwrap();
+        let plain = crate::drivers::run_wilson_gcr_dd(&p, grid, false).unwrap();
+        let tuned = run_wilson_gcr_dd_tuned(&p, 4, &TunePolicy::Off).unwrap();
+        for (a, b) in plain.iter().zip(&tuned) {
+            assert_eq!(a.solution_norm2.to_bits(), b.solution_norm2.to_bits());
+            assert_eq!(b.stats.tuned_config, 0);
+        }
+    }
+
+    #[test]
+    fn fixed_policy_with_baseline_solver_axes_is_bit_identical_and_stamped() {
+        let p = quick_problem();
+        // Baseline solver axes (mr 8, kv 16) match WilsonProblem::small,
+        // and thread count / ghost order are scheduling-only — so a
+        // Fixed policy at the baseline point must reproduce the plain
+        // driver bit for bit while stamping the fingerprint.
+        let param = TuneParam::baseline(2);
+        let grid = param.scheme.grid(p.global, 4).unwrap();
+        let plain = crate::drivers::run_wilson_gcr_dd(&p, grid, false).unwrap();
+        let tuned = run_wilson_gcr_dd_tuned(&p, 4, &TunePolicy::Fixed(param)).unwrap();
+        for (a, b) in plain.iter().zip(&tuned) {
+            assert!(b.stats.converged);
+            assert_eq!(a.solution_norm2.to_bits(), b.solution_norm2.to_bits());
+            assert_eq!(b.stats.tuned_config, param.fingerprint());
+            assert_ne!(b.stats.tuned_config, 0);
+        }
+    }
+
+    #[test]
+    fn dslash_trial_guards_and_times_real_applies() {
+        let p = quick_problem();
+        let mut tuner = Tuner::dslash(TuneParam::baseline(1), 2);
+        tuner.warmup = 1;
+        tuner.rounds = 2;
+        tuner.applies = 3;
+        let param = TuneParam::baseline(2);
+        let out = wilson_dslash_trial(&p, 4, &tuner, &param).unwrap();
+        assert!(out.bit_identical, "overlap must stay bit-identical to the reference");
+        assert!(out.secs_per_unit > 0.0 && out.secs_per_unit.is_finite());
+    }
+
+    #[test]
+    fn tune_keys_separate_operator_and_host() {
+        let p = quick_problem();
+        let dk = wilson_dslash_key(&p, 4).cache_key();
+        let sk = wilson_solver_key(&p, 4).cache_key();
+        assert_ne!(dk, sk);
+        assert!(dk.contains(&host_fingerprint()));
+    }
+}

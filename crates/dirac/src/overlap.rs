@@ -11,6 +11,7 @@ use crate::exchange::ExchangeBuffers;
 use lqcd_field::{LatticeField, SiteObject};
 use lqcd_lattice::{FaceGeometry, SubLattice, NDIM};
 use lqcd_util::{Error, Real, Result};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Cumulative timing of dslash applies, nanosecond resolution.
@@ -56,25 +57,79 @@ impl DslashCounters {
     }
 }
 
+/// Scheduling policy for the overlapped dslash: how many interior
+/// workers run while the ghost exchange is in flight, and the order in
+/// which partitioned dimensions' exchanges are completed. Every policy
+/// produces bit-identical results — per-dimension ghost zones are
+/// disjoint and the exterior kernels keep their fixed ascending-µ order
+/// (corner accumulation, §6.2) — so these axes are free for the
+/// autotuner to search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InteriorPolicy {
+    /// Interior kernel workers (min 1); 1 = run on the calling thread
+    /// (still overlapped: completion happens after the interior).
+    pub threads: usize,
+    /// Permutation of `0..NDIM` giving the ghost-*completion* order.
+    /// Dimensions whose exchange lands first should be completed first;
+    /// the default is ascending.
+    pub ghost_order: [usize; NDIM],
+}
+
+impl InteriorPolicy {
+    /// Validated policy: `threads ≥ 1` and `ghost_order` a permutation
+    /// of the dimensions (structured [`Error::Config`], never a panic).
+    pub fn new(threads: usize, ghost_order: [usize; NDIM]) -> Result<Self> {
+        if threads == 0 {
+            return Err(Error::Config("interior policy: thread count must be >= 1".into()));
+        }
+        let mut seen = [false; NDIM];
+        for &mu in &ghost_order {
+            if mu >= NDIM || seen[mu] {
+                return Err(Error::Config(format!(
+                    "interior policy: ghost order {ghost_order:?} is not a permutation of \
+                     the {NDIM} dimensions"
+                )));
+            }
+            seen[mu] = true;
+        }
+        Ok(InteriorPolicy { threads, ghost_order })
+    }
+
+    /// `threads` workers, ascending completion order.
+    pub fn with_threads(threads: usize) -> Self {
+        InteriorPolicy { threads: threads.max(1), ..Self::default() }
+    }
+}
+
+impl Default for InteriorPolicy {
+    fn default() -> Self {
+        InteriorPolicy { threads: 1, ghost_order: [0, 1, 2, 3] }
+    }
+}
+
 /// Mutable per-operator overlap state (exchange buffers, counters,
-/// interior thread count), kept behind a `Mutex` on the operator.
+/// scheduling policy), kept behind a `Mutex` on the operator.
 pub struct OverlapPipeline<R: Real> {
     /// Persistent exchange staging buffers.
     pub bufs: ExchangeBuffers<R>,
     /// Cumulative apply timings.
     pub counters: DslashCounters,
-    /// Interior kernel workers; 1 = run on the calling thread (still
-    /// overlapped: completion happens after the interior).
-    pub threads: usize,
+    /// Interior/completion scheduling policy.
+    pub policy: InteriorPolicy,
 }
 
 impl<R: Real> OverlapPipeline<R> {
     /// Fresh state with `threads` interior workers.
     pub fn with_threads(threads: usize) -> Self {
+        Self::with_policy(InteriorPolicy::with_threads(threads))
+    }
+
+    /// Fresh state under `policy`.
+    pub fn with_policy(policy: InteriorPolicy) -> Self {
         OverlapPipeline {
             bufs: ExchangeBuffers::default(),
             counters: DslashCounters::default(),
-            threads: threads.max(1),
+            policy,
         }
     }
 }
@@ -82,6 +137,49 @@ impl<R: Real> OverlapPipeline<R> {
 impl<R: Real> Default for OverlapPipeline<R> {
     fn default() -> Self {
         Self::with_threads(1)
+    }
+}
+
+/// Shared accessors for operators that own an [`OverlapPipeline`]
+/// behind a `Mutex` — the thread/counter plumbing that used to be
+/// duplicated verbatim between the Wilson-clover and staggered
+/// operators. Implementors provide the one state accessor; everything
+/// else is derived.
+pub trait OverlapHost<R: Real> {
+    /// The operator's overlap pipeline state.
+    fn overlap_state(&self) -> &Mutex<OverlapPipeline<R>>;
+
+    /// Replace the whole scheduling policy (thread count + ghost
+    /// completion order). Results are bit-identical for every policy;
+    /// this only changes scheduling.
+    fn set_interior_policy(&self, policy: InteriorPolicy) {
+        self.overlap_state().lock().unwrap().policy = policy;
+    }
+
+    /// Current scheduling policy.
+    fn interior_policy(&self) -> InteriorPolicy {
+        self.overlap_state().lock().unwrap().policy
+    }
+
+    /// Set the number of interior-kernel worker threads (min 1),
+    /// keeping the completion order.
+    fn set_interior_threads(&self, n: usize) {
+        self.overlap_state().lock().unwrap().policy.threads = n.max(1);
+    }
+
+    /// Current interior-kernel worker count.
+    fn interior_threads(&self) -> usize {
+        self.overlap_state().lock().unwrap().policy.threads
+    }
+
+    /// Snapshot of the cumulative per-apply timing counters.
+    fn dslash_counters(&self) -> DslashCounters {
+        self.overlap_state().lock().unwrap().counters
+    }
+
+    /// Zero the cumulative timing counters.
+    fn reset_dslash_counters(&self) {
+        self.overlap_state().lock().unwrap().counters = DslashCounters::default();
     }
 }
 
@@ -138,6 +236,23 @@ where
         Ok(max_ns)
     })?;
     Ok((interior_ns, wall.elapsed().as_nanos() as u64))
+}
+
+/// Geometry validation for a dslash apply, shared by every stencil
+/// operator: parity pairing plus allocation shape of both fields
+/// against the operator's subvolume and face geometry (structured
+/// [`Error::Shape`], never a panic).
+pub fn check_dslash_pair<R: Real, S: SiteObject<R>>(
+    out: &LatticeField<R, S>,
+    src: &LatticeField<R, S>,
+    sub: &SubLattice,
+    faces: &FaceGeometry,
+) -> Result<()> {
+    if out.parity() != src.parity().other() {
+        return Err(Error::Shape("dslash: out must have opposite parity to src".into()));
+    }
+    check_field_geometry("out", out, sub, faces)?;
+    check_field_geometry("src", src, sub, faces)
 }
 
 /// Validate that `field` was allocated against the operator's subvolume

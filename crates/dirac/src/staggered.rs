@@ -17,7 +17,7 @@
 //! essential.
 
 use crate::exchange::{complete_ghost_dim, exchange_ghosts_with, post_ghost_sends};
-use crate::overlap::{check_field_geometry, run_overlapped, DslashCounters, OverlapPipeline};
+use crate::overlap::{check_dslash_pair, run_overlapped, OverlapHost, OverlapPipeline};
 use crate::BoundaryMode;
 use lqcd_comms::Communicator;
 use lqcd_field::{blas, BodyView, LatticeField, SiteObject};
@@ -44,21 +44,27 @@ pub struct StaggeredOp<R: Real> {
     pub mass: f64,
     sub: Arc<SubLattice>,
     faces: FaceGeometry,
-    /// Exchange buffers, apply counters, interior thread count.
+    /// Exchange buffers, apply counters, scheduling policy.
     overlap: Mutex<OverlapPipeline<R>>,
 }
 
 impl<R: Real> Clone for StaggeredOp<R> {
     fn clone(&self) -> Self {
-        let threads = self.interior_threads();
+        let policy = self.interior_policy();
         StaggeredOp {
             fat: self.fat.clone(),
             long: self.long.clone(),
             mass: self.mass,
             sub: self.sub.clone(),
             faces: self.faces.clone(),
-            overlap: Mutex::new(OverlapPipeline::with_threads(threads)),
+            overlap: Mutex::new(OverlapPipeline::with_policy(policy)),
         }
+    }
+}
+
+impl<R: Real> OverlapHost<R> for StaggeredOp<R> {
+    fn overlap_state(&self) -> &Mutex<OverlapPipeline<R>> {
+        &self.overlap
     }
 }
 
@@ -76,27 +82,6 @@ impl<R: Real> StaggeredOp<R> {
         }
         let faces = FaceGeometry::new(&sub, STAGGERED_DEPTH)?;
         Ok(Self { fat, long, mass, sub, faces, overlap: Mutex::new(OverlapPipeline::default()) })
-    }
-
-    /// Set the number of interior-kernel worker threads (min 1). Results
-    /// are bit-identical for every value; this only changes scheduling.
-    pub fn set_interior_threads(&self, n: usize) {
-        self.overlap.lock().unwrap().threads = n.max(1);
-    }
-
-    /// Current interior-kernel worker count.
-    pub fn interior_threads(&self) -> usize {
-        self.overlap.lock().unwrap().threads
-    }
-
-    /// Snapshot of the cumulative per-apply timing counters.
-    pub fn dslash_counters(&self) -> DslashCounters {
-        self.overlap.lock().unwrap().counters
-    }
-
-    /// Zero the cumulative timing counters.
-    pub fn reset_dslash_counters(&self) {
-        self.overlap.lock().unwrap().counters = DslashCounters::default();
     }
 
     /// The subvolume the operator acts on.
@@ -157,15 +142,12 @@ impl<R: Real> StaggeredOp<R> {
         }
     }
 
-    /// Geometry validation for a dslash apply: parity pairing plus
-    /// allocation shape of both fields against the operator's subvolume
-    /// and face geometry (structured [`Error::Shape`], never a panic).
+    /// Geometry validation for a dslash apply (see
+    /// [`overlap::check_dslash_pair`]).
+    ///
+    /// [`overlap::check_dslash_pair`]: crate::overlap::check_dslash_pair
     fn check_geometry(&self, out: &StaggeredField<R>, src: &StaggeredField<R>) -> Result<()> {
-        if out.parity() != src.parity().other() {
-            return Err(Error::Shape("dslash: out must have opposite parity to src".into()));
-        }
-        check_field_geometry("out", out, &self.sub, &self.faces)?;
-        check_field_geometry("src", src, &self.sub, &self.faces)
+        check_dslash_pair(out, src, &self.sub, &self.faces)
     }
 
     /// The raw anti-Hermitian stencil `out = D src`, pipelined as in the
@@ -185,7 +167,7 @@ impl<R: Real> StaggeredOp<R> {
         self.check_geometry(out, src)?;
         let apply_t = Instant::now();
         let mut guard = self.overlap.lock().unwrap();
-        let OverlapPipeline { bufs, counters, threads } = &mut *guard;
+        let OverlapPipeline { bufs, counters, policy } = &mut *guard;
         let exchange = mode == BoundaryMode::Full;
 
         let gather_t = Instant::now();
@@ -206,13 +188,13 @@ impl<R: Real> StaggeredOp<R> {
                 self.interior_range(chunk, lo_site, src_view, out_parity, src_parity);
             };
             run_overlapped(
-                *threads,
+                policy.threads,
                 out.body_mut(),
                 <ColorVector<R> as SiteObject<R>>::REALS,
                 &kernel,
                 || {
                     if exchange {
-                        for mu in 0..NDIM {
+                        for &mu in &policy.ghost_order {
                             if self.sub.partitioned[mu] {
                                 complete_ghost_dim(&mut pending, mu, &mut zones, comm, bufs)?;
                             }

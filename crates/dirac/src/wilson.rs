@@ -11,7 +11,7 @@
 //! `M̂_oo = T_oo − (1/16) D̂_oe T_ee⁻¹ D̂_eo` (§3.1).
 
 use crate::exchange::{complete_ghost_dim, exchange_ghosts_with, post_ghost_sends};
-use crate::overlap::{check_field_geometry, run_overlapped, DslashCounters, OverlapPipeline};
+use crate::overlap::{check_dslash_pair, run_overlapped, OverlapHost, OverlapPipeline};
 use crate::BoundaryMode;
 use lqcd_comms::Communicator;
 use lqcd_field::{blas, BodyView, LatticeField, SiteObject};
@@ -42,15 +42,15 @@ pub struct WilsonCloverOp<R: Real> {
     pub mass: f64,
     sub: Arc<SubLattice>,
     faces: FaceGeometry,
-    /// Exchange buffers, apply counters, interior thread count.
+    /// Exchange buffers, apply counters, scheduling policy.
     overlap: Mutex<OverlapPipeline<R>>,
 }
 
 impl<R: Real> Clone for WilsonCloverOp<R> {
     fn clone(&self) -> Self {
         // Fresh pipeline state (buffers are lazily re-sized; counters
-        // start at zero), same thread configuration.
-        let threads = self.interior_threads();
+        // start at zero), same scheduling policy.
+        let policy = self.interior_policy();
         WilsonCloverOp {
             gauge: self.gauge.clone(),
             clover: self.clover.clone(),
@@ -58,8 +58,14 @@ impl<R: Real> Clone for WilsonCloverOp<R> {
             mass: self.mass,
             sub: self.sub.clone(),
             faces: self.faces.clone(),
-            overlap: Mutex::new(OverlapPipeline::with_threads(threads)),
+            overlap: Mutex::new(OverlapPipeline::with_policy(policy)),
         }
+    }
+}
+
+impl<R: Real> OverlapHost<R> for WilsonCloverOp<R> {
+    fn overlap_state(&self) -> &Mutex<OverlapPipeline<R>> {
+        &self.overlap
     }
 }
 
@@ -86,27 +92,6 @@ impl<R: Real> WilsonCloverOp<R> {
             faces,
             overlap: Mutex::new(OverlapPipeline::default()),
         })
-    }
-
-    /// Set the number of interior-kernel worker threads (min 1). Results
-    /// are bit-identical for every value; this only changes scheduling.
-    pub fn set_interior_threads(&self, n: usize) {
-        self.overlap.lock().unwrap().threads = n.max(1);
-    }
-
-    /// Current interior-kernel worker count.
-    pub fn interior_threads(&self) -> usize {
-        self.overlap.lock().unwrap().threads
-    }
-
-    /// Snapshot of the cumulative per-apply timing counters.
-    pub fn dslash_counters(&self) -> DslashCounters {
-        self.overlap.lock().unwrap().counters
-    }
-
-    /// Zero the cumulative timing counters.
-    pub fn reset_dslash_counters(&self) {
-        self.overlap.lock().unwrap().counters = DslashCounters::default();
     }
 
     /// The subvolume the operator acts on.
@@ -151,23 +136,21 @@ impl<R: Real> WilsonCloverOp<R> {
         Ok(())
     }
 
-    /// Geometry validation for a dslash apply: parity pairing plus
-    /// allocation shape of both fields against the operator's subvolume
-    /// and face geometry (structured [`Error::Shape`], never a panic).
+    /// Geometry validation for a dslash apply (see
+    /// [`overlap::check_dslash_pair`]).
+    ///
+    /// [`overlap::check_dslash_pair`]: crate::overlap::check_dslash_pair
     fn check_geometry(&self, out: &SpinorField<R>, src: &SpinorField<R>) -> Result<()> {
-        if out.parity() != src.parity().other() {
-            return Err(Error::Shape("dslash: out must have opposite parity to src".into()));
-        }
-        check_field_geometry("out", out, &self.sub, &self.faces)?;
-        check_field_geometry("src", src, &self.sub, &self.faces)
+        check_dslash_pair(out, src, &self.sub, &self.faces)
     }
 
     /// The doubled hopping stencil `out = D̂ src` (`D̂ = 2D`), pipelined
     /// as in the paper's Fig. 4: face gathers are packed and posted as
     /// nonblocking exchanges, the interior kernel runs while they are in
     /// flight (optionally on worker threads — see
-    /// [`WilsonCloverOp::set_interior_threads`]), each dimension's ghosts
-    /// are completed as they land, and the exterior kernels run last.
+    /// [`OverlapHost::set_interior_policy`]), each dimension's ghosts
+    /// are completed as they land (in the policy's completion order),
+    /// and the exterior kernels run last.
     ///
     /// `src` is mutable because its ghost zones are refreshed in `Full`
     /// mode. `out` must have the opposite parity of `src`. Output is
@@ -184,7 +167,7 @@ impl<R: Real> WilsonCloverOp<R> {
         let traced = trace::is_enabled();
         let apply_t = Instant::now();
         let mut guard = self.overlap.lock().unwrap();
-        let OverlapPipeline { bufs, counters, threads } = &mut *guard;
+        let OverlapPipeline { bufs, counters, policy } = &mut *guard;
         let exchange = mode == BoundaryMode::Full;
 
         // Stage 1: gather faces, pack to wire precision, post sends.
@@ -209,13 +192,13 @@ impl<R: Real> WilsonCloverOp<R> {
                 self.interior_range(chunk, lo_site, src_view, out_parity, src_parity);
             };
             run_overlapped(
-                *threads,
+                policy.threads,
                 out.body_mut(),
                 <WilsonSpinor<R> as SiteObject<R>>::REALS,
                 &kernel,
                 || {
                     if exchange {
-                        for mu in 0..NDIM {
+                        for &mu in &policy.ghost_order {
                             if self.sub.partitioned[mu] {
                                 complete_ghost_dim(&mut pending, mu, &mut zones, comm, bufs)?;
                             }
@@ -237,7 +220,7 @@ impl<R: Real> WilsonCloverOp<R> {
                 "interior",
                 post_end_ns,
                 post_end_ns + interior_ns,
-                *threads as i64,
+                policy.threads as i64,
             );
             if exchange {
                 trace::span_at(

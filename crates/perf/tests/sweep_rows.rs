@@ -1,0 +1,118 @@
+//! Contracts of the sweep row types and the capability machine models:
+//! the JSON the figure bins emit round-trips field-for-field through
+//! the serde shims, and the CPU machine models degrade monotonically
+//! (per-core rate non-increasing) under strong scaling.
+
+use lqcd_perf::capability::{bgp, sustained_tflops, xt4, xt5};
+use lqcd_perf::sweep::{CapabilityPoint, SolverPoint, ThroughputPoint};
+use serde::Serialize;
+use serde_json::{from_str, Value};
+
+fn json_of<T: Serialize>(v: &T) -> Value {
+    from_str(&serde_json::to_string(v).unwrap()).unwrap()
+}
+
+#[test]
+fn throughput_point_round_trips_through_json() {
+    let p = ThroughputPoint {
+        gpus: 256,
+        scheme: "XYZT".into(),
+        precision: "HP".into(),
+        gflops_per_gpu: 27.125,
+        total_tflops: 6.944,
+    };
+    let v = json_of(&p);
+    assert_eq!(v.get("gpus").and_then(Value::as_i64), Some(256));
+    assert_eq!(v.get("scheme").and_then(Value::as_str), Some("XYZT"));
+    assert_eq!(v.get("precision").and_then(Value::as_str), Some("HP"));
+    // f64 fields survive bit-exactly (shortest-round-trip float text).
+    assert_eq!(v.get("gflops_per_gpu").and_then(Value::as_f64), Some(27.125));
+    assert_eq!(
+        v.get("total_tflops").and_then(Value::as_f64).map(f64::to_bits),
+        Some(6.944f64.to_bits())
+    );
+}
+
+#[test]
+fn solver_point_round_trips_through_json() {
+    let p = SolverPoint {
+        gpus: 128,
+        solver: "GCR-DD".into(),
+        tflops: 10.5,
+        time_to_solution: 3.9,
+        iterations: 412.0,
+    };
+    let v = json_of(&p);
+    assert_eq!(v.get("gpus").and_then(Value::as_i64), Some(128));
+    assert_eq!(v.get("solver").and_then(Value::as_str), Some("GCR-DD"));
+    assert_eq!(v.get("tflops").and_then(Value::as_f64), Some(10.5));
+    assert_eq!(
+        v.get("time_to_solution").and_then(Value::as_f64).map(f64::to_bits),
+        Some(3.9f64.to_bits())
+    );
+    assert_eq!(v.get("iterations").and_then(Value::as_f64), Some(412.0));
+}
+
+#[test]
+fn capability_point_round_trips_through_json() {
+    let p = CapabilityPoint {
+        machine: "Intrepid BG/P".into(),
+        solver: "BiCGStab DP".into(),
+        cores: 16384,
+        tflops: 0.731,
+    };
+    let v = json_of(&p);
+    assert_eq!(v.get("machine").and_then(Value::as_str), Some("Intrepid BG/P"));
+    assert_eq!(v.get("solver").and_then(Value::as_str), Some("BiCGStab DP"));
+    assert_eq!(v.get("cores").and_then(Value::as_i64), Some(16384));
+    assert_eq!(v.get("tflops").and_then(Value::as_f64).map(f64::to_bits), Some(0.731f64.to_bits()));
+}
+
+#[test]
+fn a_vec_of_rows_serializes_as_a_json_array() {
+    let rows = vec![
+        ThroughputPoint {
+            gpus: 8,
+            scheme: "T".into(),
+            precision: "SP".into(),
+            gflops_per_gpu: 128.0,
+            total_tflops: 1.024,
+        },
+        ThroughputPoint {
+            gpus: 16,
+            scheme: "ZT".into(),
+            precision: "SP".into(),
+            gflops_per_gpu: 120.0,
+            total_tflops: 1.92,
+        },
+    ];
+    let v = json_of(&rows);
+    let arr = v.as_array().expect("array form");
+    assert_eq!(arr.len(), 2);
+    assert_eq!(arr[1].get("scheme").and_then(Value::as_str), Some("ZT"));
+}
+
+/// Strong scaling can never *improve* the per-core rate: at fixed
+/// volume, more cores mean smaller blocks and a worse surface-to-volume
+/// ratio, so `sustained_tflops(m, cores, vol) / cores` must be
+/// non-increasing in `cores` for every machine model.
+#[test]
+fn machine_models_degrade_per_core_under_strong_scaling() {
+    let volume = (32usize * 32 * 32 * 256) as f64;
+    for m in [xt4(), xt5(), bgp()] {
+        let mut prev = f64::INFINITY;
+        for cores in [512usize, 1024, 2048, 4096, 8192, 16384, 32768, 65536] {
+            let per_core = sustained_tflops(&m, cores, volume) / cores as f64;
+            assert!(per_core > 0.0, "{}: non-positive rate at {cores} cores", m.name);
+            assert!(
+                per_core <= prev * (1.0 + 1e-12),
+                "{}: per-core rate rose {prev:.3e} -> {per_core:.3e} at {cores} cores",
+                m.name
+            );
+            prev = per_core;
+        }
+        // And the aggregate still grows somewhere: scaling is degraded,
+        // not inverted, at the small end.
+        assert!(sustained_tflops(&m, 1024, volume) > sustained_tflops(&m, 512, volume));
+    }
+}

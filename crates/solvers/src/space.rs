@@ -44,6 +44,10 @@ pub struct SolveStats {
     /// Communication-completion time *not* hidden behind the interior
     /// kernel, nanoseconds — the quantity overlap drives toward zero.
     pub dslash_exposed_comm_ns: u64,
+    /// Fingerprint of the autotuned configuration the solve ran under
+    /// (`lqcd-tune`'s `TuneParam::fingerprint()`), or 0 when the solve
+    /// used hardcoded defaults.
+    pub tuned_config: u64,
 }
 
 impl SolveStats {
@@ -66,6 +70,7 @@ impl SolveStats {
             dslash_total_ns: 0,
             dslash_interior_ns: 0,
             dslash_exposed_comm_ns: 0,
+            tuned_config: 0,
         }
     }
 
@@ -84,6 +89,9 @@ impl SolveStats {
         self.dslash_total_ns += inner.dslash_total_ns;
         self.dslash_interior_ns += inner.dslash_interior_ns;
         self.dslash_exposed_comm_ns += inner.dslash_exposed_comm_ns;
+        if self.tuned_config == 0 {
+            self.tuned_config = inner.tuned_config;
+        }
     }
 
     /// Fraction of dslash wall time *not* lost to exposed communication
@@ -123,6 +131,7 @@ impl SolveStats {
         reg.add("dslash.total_ns", self.dslash_total_ns);
         reg.add("dslash.interior_ns", self.dslash_interior_ns);
         reg.add("dslash.exposed_comm_ns", self.dslash_exposed_comm_ns);
+        reg.add("solve.tuned", (self.tuned_config != 0) as u64);
         reg.record("solve.residual", self.residual);
         if let Some(eff) = self.overlap_efficiency() {
             reg.record("dslash.overlap_efficiency", eff);

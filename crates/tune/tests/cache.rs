@@ -1,0 +1,150 @@
+//! Tune-cache persistence contract: write → reload → identical
+//! decisions, and every corruption mode (truncation, bit flips, bad
+//! magic, stale version) is a structured outcome — never a panic,
+//! never a silent stale hit.
+
+use lqcd_lattice::{Dims, PartitionScheme};
+use lqcd_tune::{LadderChoice, TuneCache, TuneDecision, TuneKey, TuneParam};
+use lqcd_util::Error;
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("lqcd-tune-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn sample_key(ranks: usize) -> TuneKey {
+    TuneKey::new("wilson_clover/dslash", Dims([8, 8, 8, 8]), ranks)
+}
+
+fn sample_decision(scheme: PartitionScheme, tuned_us: f64) -> TuneDecision {
+    TuneDecision {
+        param: TuneParam {
+            scheme,
+            interior_threads: 2,
+            ghost_order: [3, 2, 1, 0],
+            mr_steps: 8,
+            n_kv: 16,
+            ladder: LadderChoice::Double,
+        },
+        tuned_us,
+        default_us: tuned_us * 1.25,
+        model_us: tuned_us * 0.9,
+        trials: 7,
+    }
+}
+
+#[test]
+fn round_trip_reloads_identical_decisions() {
+    let path = tmpdir("roundtrip").join("cache.json");
+    let mut cache = TuneCache::empty(&path);
+    cache.insert(&sample_key(4), sample_decision(PartitionScheme::XYZT, 12.5));
+    cache.insert(&sample_key(8), sample_decision(PartitionScheme::ZT, 9.75));
+    cache.save().unwrap();
+
+    let back = TuneCache::open(&path).unwrap();
+    assert_eq!(back.len(), 2);
+    for ranks in [4, 8] {
+        let key = sample_key(ranks);
+        assert_eq!(back.lookup(&key), cache.lookup(&key), "ranks {ranks}");
+    }
+    // Full float fidelity survives the JSON round trip.
+    let d = back.lookup(&sample_key(4)).unwrap();
+    assert_eq!(d.tuned_us.to_bits(), 12.5f64.to_bits());
+    assert_eq!(d.param.ghost_order, [3, 2, 1, 0]);
+}
+
+#[test]
+fn missing_file_reads_as_empty() {
+    let path = tmpdir("missing").join("nope.json");
+    let cache = TuneCache::open(&path).unwrap();
+    assert!(cache.is_empty());
+    assert!(cache.lookup(&sample_key(4)).is_none());
+}
+
+#[test]
+fn truncated_file_is_structured_corruption() {
+    let path = tmpdir("truncate").join("cache.json");
+    let mut cache = TuneCache::empty(&path);
+    cache.insert(&sample_key(4), sample_decision(PartitionScheme::XYZT, 12.5));
+    cache.save().unwrap();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    for keep in [0, 1, text.len() / 2, text.len() - 1] {
+        std::fs::write(&path, &text[..keep]).unwrap();
+        match TuneCache::open(&path) {
+            Err(Error::Corrupt { .. }) => {}
+            other => panic!("truncation at {keep} gave {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn bit_flips_never_produce_a_stale_hit() {
+    let path = tmpdir("bitflip").join("cache.json");
+    let mut cache = TuneCache::empty(&path);
+    cache.insert(&sample_key(4), sample_decision(PartitionScheme::XYZT, 12.5));
+    cache.save().unwrap();
+    let original = std::fs::read(&path).unwrap();
+    let reference = TuneCache::open(&path).unwrap();
+    let key = sample_key(4);
+
+    // Flip one bit at a spread of positions. Every outcome must be
+    // either Corrupt or a cache whose decision for the key is exactly
+    // the original (flips in whitespace / unparsed regions) — never a
+    // panic, never a changed decision accepted as valid.
+    let step = (original.len() / 97).max(1);
+    for pos in (0..original.len()).step_by(step) {
+        let mut bytes = original.clone();
+        bytes[pos] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        match TuneCache::open(&path) {
+            Err(Error::Corrupt { .. }) | Err(Error::Io { .. }) => {}
+            Ok(c) => {
+                let got = c.lookup(&key);
+                assert!(
+                    got.is_none() || got == reference.lookup(&key),
+                    "flip at {pos} silently changed the decision: {got:?}"
+                );
+            }
+            Err(e) => panic!("flip at {pos} gave unexpected error {e:?}"),
+        }
+    }
+}
+
+#[test]
+fn bad_magic_is_corrupt_but_stale_version_retunes() {
+    let path = tmpdir("version").join("cache.json");
+    let mut cache = TuneCache::empty(&path);
+    cache.insert(&sample_key(4), sample_decision(PartitionScheme::XYZT, 12.5));
+    cache.save().unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+
+    std::fs::write(&path, text.replace("LQTUNE01", "LQTUNE??")).unwrap();
+    assert!(matches!(TuneCache::open(&path), Err(Error::Corrupt { .. })));
+
+    // A *valid* file of a different version is the documented
+    // invalidation rule: reads as empty (forcing a retune), not corrupt.
+    std::fs::write(&path, text.replace("\"version\": 1", "\"version\": 999")).unwrap();
+    let stale = TuneCache::open(&path).unwrap();
+    assert!(stale.is_empty());
+}
+
+#[test]
+fn save_is_atomic_no_tmp_residue() {
+    let dir = tmpdir("atomic");
+    let path = dir.join("cache.json");
+    let mut cache = TuneCache::empty(&path);
+    cache.insert(&sample_key(4), sample_decision(PartitionScheme::T, 20.0));
+    cache.save().unwrap();
+    cache.insert(&sample_key(8), sample_decision(PartitionScheme::ZT, 10.0));
+    cache.save().unwrap();
+    let names: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    assert_eq!(names, vec!["cache.json"], "tmp sibling must not survive a save");
+    assert_eq!(TuneCache::open(&path).unwrap().len(), 2);
+}

@@ -34,6 +34,7 @@ pub use lqcd_lattice as lattice;
 pub use lqcd_perf as perf;
 pub use lqcd_solvers as solvers;
 pub use lqcd_su3 as su3;
+pub use lqcd_tune as tune;
 pub use lqcd_util as util;
 
 /// The items most programs need.
@@ -43,9 +44,10 @@ pub mod prelude {
         FaultRule, FaultyComm, MsgClass, SharedComm, SingleComm, ThreadedComm,
     };
     pub use lqcd_core::{
-        run_staggered_multishift, run_wilson_bicgstab, run_wilson_gcr_dd,
-        run_wilson_gcr_dd_resilient, run_wilson_gcr_dd_supervised, PrecisionRung, StaggeredProblem,
-        SupervisedOutcome, SupervisorConfig, WilsonProblem,
+        run_staggered_multishift, run_staggered_multishift_tuned, run_wilson_bicgstab,
+        run_wilson_gcr_dd, run_wilson_gcr_dd_resilient, run_wilson_gcr_dd_supervised,
+        run_wilson_gcr_dd_tuned, tune_wilson, PrecisionRung, StaggeredProblem, SupervisedOutcome,
+        SupervisorConfig, WilsonProblem,
     };
     pub use lqcd_dirac::{BoundaryMode, StaggeredOp, WilsonCloverOp};
     pub use lqcd_gauge::{average_plaquette, AsqtadLinks, GaugeField};
@@ -56,6 +58,7 @@ pub mod prelude {
         SchwarzMR, SolveStats, SolverSpace, Spectrum,
     };
     pub use lqcd_su3::{ColorVector, Su3, WilsonSpinor};
+    pub use lqcd_tune::{TuneCache, TuneParam, TunePolicy};
     pub use lqcd_util::rng::SeedTree;
     pub use lqcd_util::{Complex, Error, Real, Result};
 }
